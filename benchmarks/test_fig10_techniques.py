@@ -1,0 +1,39 @@
+"""Figure 10 — query techniques for window queries (cluster org).
+
+Paper shape: for the small cluster units of A-1 all techniques are
+within ~12 % of the optimum; for C-1's large units the threshold
+technique saves ~15 % and the SLM technique ~27 % on the most selective
+queries (optimum: 35 %); from 0.1 % window area upward there is no
+significant difference.
+"""
+
+from __future__ import annotations
+
+from repro.eval.window import format_fig10, run_fig10_techniques
+
+from benchmarks.conftest import once
+
+
+def test_fig10_techniques(ctx, benchmark, record_table):
+    rows = once(benchmark, lambda: run_fig10_techniques(ctx, ("A-1", "C-1")))
+    record_table("fig10_techniques", format_fig10(rows))
+
+    for row in rows:
+        per = {t: agg.ms_per_4kb for t, agg in row.per_technique.items()}
+        assert per["optimum"] <= min(per.values()) + 1e-9, row
+
+    # C-1, most selective queries: SLM saves clearly over complete.
+    c1_small = next(
+        r for r in rows if r.series == "C-1" and r.area_fraction == 1e-5
+    )
+    per = {t: a.ms_per_4kb for t, a in c1_small.per_technique.items()}
+    assert per["slm"] < 0.95 * per["complete"]
+    assert per["threshold"] <= per["complete"] * 1.02
+
+    # Large windows: no significant difference between the techniques.
+    for series in ("A-1", "C-1"):
+        big = next(
+            r for r in rows if r.series == series and r.area_fraction == 1e-1
+        )
+        per = {t: a.ms_per_4kb for t, a in big.per_technique.items()}
+        assert max(per.values()) < 1.3 * min(per.values()), (series, per)

@@ -1,0 +1,33 @@
+"""Figure 11 — performance gains by adapting the cluster size (B-1).
+
+Paper shape: re-tuning the cluster size after the window area changes
+by a factor of 100 recovers ~23 % with the simplest (complete-unit)
+technique, but only ~6.5 % (threshold) / ~11 % (SLM) with the smarter
+techniques — "an adaptation does not seem to be essential".
+"""
+
+from __future__ import annotations
+
+from repro.eval.adaptation import format_fig11, run_fig11_adaptation
+
+from benchmarks.conftest import once
+
+
+def test_fig11_adaptation(ctx, benchmark, record_table):
+    results = once(benchmark, lambda: run_fig11_adaptation(ctx))
+    record_table("fig11_adaptation", format_fig11(results))
+
+    by_technique = {r.technique: r for r in results}
+    for r in results:
+        assert 0.0 <= r.gain_factor_10 <= 60.0, r
+        assert 0.0 <= r.gain_factor_100 <= 60.0, r
+        # A bigger workload shift leaves more on the table.
+        assert r.gain_factor_100 >= r.gain_factor_10 - 3.0, r
+
+    # The sophisticated techniques depend less on the cluster size than
+    # the simplest one (the paper's core message for this figure).
+    smart_gain = max(
+        by_technique["threshold"].gain_factor_100,
+        by_technique["slm"].gain_factor_100,
+    )
+    assert smart_gain <= by_technique["complete"].gain_factor_100 + 5.0

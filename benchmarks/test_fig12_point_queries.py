@@ -1,0 +1,38 @@
+"""Figure 12 — point queries across the organization models.
+
+Paper shape: almost no difference between the secondary and the cluster
+organization (global clustering costs selective queries nothing); the
+primary organization is best for the smallest objects (A-1) and loses
+its edge as objects grow (series C's page-overflowing objects each cost
+an extra access).
+"""
+
+from __future__ import annotations
+
+from repro.eval.point import format_fig12, run_fig12_points
+
+from benchmarks.conftest import once
+
+
+def test_fig12_point_queries(ctx, benchmark, record_table):
+    rows = once(benchmark, lambda: run_fig12_points(ctx, ("A-1", "B-1", "C-1")))
+    record_table("fig12_point_queries", format_fig12(rows))
+
+    for row in rows:
+        # "Almost no difference between the secondary organization and
+        # the cluster organization."
+        assert 0.8 <= row.cluster_vs_secondary <= 1.2, row.series
+
+    by_series = {r.series: r for r in rows}
+
+    def primary_advantage(series: str) -> float:
+        row = by_series[series]
+        return (
+            row.per_org["secondary"].ms_per_4kb
+            / row.per_org["primary"].ms_per_4kb
+        )
+
+    # The primary organization profits from small objects and loses the
+    # advantage as objects grow (A-1 best, C-1 relatively worst).
+    assert primary_advantage("A-1") > primary_advantage("C-1")
+    assert primary_advantage("A-1") > 1.2

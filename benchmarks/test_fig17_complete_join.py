@@ -1,0 +1,34 @@
+"""Figure 17 — the complete three-step intersection join.
+
+Paper shape: with the secondary organization the object transfer
+dominates; the cluster organization slashes exactly that component
+while MBR-join and exact-test costs stay put, so the complete join
+speeds up by ~3.9× (version a) / ~4.3× (version b).
+"""
+
+from __future__ import annotations
+
+from repro.eval.joins import format_fig17, run_fig17_complete_join
+
+from benchmarks.conftest import once
+
+
+def test_fig17_complete_join(ctx, benchmark, record_table):
+    rows = once(benchmark, lambda: run_fig17_complete_join(ctx))
+    record_table("fig17_complete_join", format_fig17(rows))
+
+    by_version: dict[str, dict[str, object]] = {}
+    for row in rows:
+        by_version.setdefault(row.version, {})[row.organization] = row
+
+    for version, orgs in by_version.items():
+        sec, clu = orgs["secondary"], orgs["cluster"]
+        # The exact geometry test costs the same in both organizations.
+        assert abs(sec.exact_s - clu.exact_s) < 1e-9
+        # Global clustering slashes the object transfer…
+        assert clu.transfer_s < 0.5 * sec.transfer_s, version
+        # …and the transfer dominates the secondary organization's cost.
+        assert sec.transfer_s > sec.mbr_join_s, version
+        # Total speed-up in the paper's ballpark (>2x; paper ~4x).
+        speedup = sec.total_s / clu.total_s
+        assert speedup > 1.5, (version, speedup)

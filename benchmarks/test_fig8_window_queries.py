@@ -1,0 +1,52 @@
+"""Figure 8 — window queries across the organization models.
+
+Paper shape: normalised I/O cost (ms per 4 KB of queried data) of the
+cluster organization falls sharply with the window size — speed-up
+factors versus the secondary organization reach ~20 for the small-object
+series A-1 and ~12.5 for the large-object series C-1 — while the
+primary organization lands between the two and profits most from small
+objects.
+"""
+
+from __future__ import annotations
+
+from repro.data.workload import PAPER_WINDOW_AREAS
+from repro.eval.window import format_fig8, run_fig8_windows
+
+from benchmarks.conftest import once
+
+
+def test_fig8_window_queries(ctx, benchmark, record_table):
+    rows = once(benchmark, lambda: run_fig8_windows(ctx, ("A-1", "C-1")))
+    record_table("fig8_window_queries", format_fig8(rows))
+
+    by_series: dict[str, list] = {}
+    for row in rows:
+        by_series.setdefault(row.series, []).append(row)
+
+    for series, series_rows in by_series.items():
+        series_rows.sort(key=lambda r: r.area_fraction)
+        speedups = [r.speedup_vs_secondary for r in series_rows]
+        # Monotone benefit: bigger windows, bigger win (allowing noise).
+        assert speedups[-1] > speedups[0], series
+        # Large windows: clearly accelerated.
+        assert speedups[-1] > 6.0, (series, speedups)
+        # The cluster organization never collapses for point-like windows.
+        assert speedups[0] > 0.5, (series, speedups)
+
+    # A-1 (small objects) gains more than C-1, as in the paper (20 vs 12.5).
+    assert max(r.speedup_vs_secondary for r in by_series["A-1"]) > max(
+        r.speedup_vs_secondary for r in by_series["C-1"]
+    )
+
+    # The primary organization sits between secondary and cluster for
+    # large windows.
+    for series_rows in by_series.values():
+        big = series_rows[-1]
+        assert (
+            big.per_org["cluster"].ms_per_4kb
+            < big.per_org["primary"].ms_per_4kb
+            < big.per_org["secondary"].ms_per_4kb
+        )
+
+    assert set(r.area_fraction for r in rows) == set(PAPER_WINDOW_AREAS)

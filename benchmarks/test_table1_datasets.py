@@ -1,0 +1,23 @@
+"""Table 1 — the maps and the test series.
+
+Regenerates the dataset-characteristics table and checks the synthetic
+maps hit the paper's per-series object sizes.
+"""
+
+from __future__ import annotations
+
+from repro.eval.table1 import format_table1, run_table1
+
+from benchmarks.conftest import once
+
+
+def test_table1_datasets(ctx, benchmark, record_table):
+    rows = once(benchmark, lambda: run_table1(ctx))
+    record_table("table1_datasets", format_table1(rows, ctx.config.scale))
+
+    assert len(rows) == 6
+    for row in rows:
+        # Average object sizes match Table 1 (counts are scaled).
+        assert abs(row.measured_avg_size - row.paper_avg_size) <= (
+            0.1 * row.paper_avg_size
+        ), row.key

@@ -1,0 +1,80 @@
+"""Spatial join pipeline: streets x rivers/boundaries, step by step.
+
+Reproduces the setting of the paper's Section 6 with the public API:
+two relations (a street map and a boundary/river/rail map) live on one
+simulated disk; the intersection join runs in the three steps of
+[BKSS94] — MBR join, object transfer, exact geometry test — and the
+cost breakdown shows where global clustering strikes.
+
+Run with::
+
+    python examples/spatial_join_pipeline.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SpatialDatabase
+from repro.data import generate_map, scaled, spec_for
+from repro.eval.report import format_table
+
+
+def build_pair(organization: str, objects_r, objects_s):
+    db_r = SpatialDatabase(
+        organization=organization,
+        avg_object_size=2490,
+        name=f"{organization}-streets",
+    )
+    db_s = db_r.attach(
+        f"{organization}-rivers",
+        organization=organization,
+        avg_object_size=3113,
+    )
+    db_r.build(objects_r)
+    db_s.build(objects_s)
+    return db_r, db_s
+
+
+def main(scale: float = 0.02) -> None:
+    spec_r = scaled(spec_for("C-1"), scale)
+    spec_s = scaled(spec_for("C-2"), scale)
+    print(f"generating {spec_r.n_objects} streets and "
+          f"{spec_s.n_objects} boundaries/rivers/rails ...")
+    objects_r = generate_map(spec_r, seed=1994)
+    objects_s = generate_map(spec_s, seed=1994, id_offset=10_000_000)
+
+    rows = []
+    for organization in ("secondary", "cluster"):
+        db_r, db_s = build_pair(organization, objects_r, objects_s)
+        result = db_r.join(db_s, buffer_pages=1600, evaluate_exact=True)
+        rows.append(
+            (
+                organization,
+                result.candidate_pairs,
+                result.result_pairs,
+                result.mbr_io.total_s,
+                result.transfer_io.total_s,
+                result.exact_ms / 1000.0,
+                result.total_ms / 1000.0,
+            )
+        )
+        print(f"{organization}: join done "
+              f"(buffer hit rate {result.buffer_hit_rate:.0%})")
+
+    print()
+    print(
+        format_table(
+            ["organization", "MBR pairs", "exact pairs", "MBR-join (s)",
+             "transfer (s)", "exact test (s)", "total (s)"],
+            rows,
+            title="complete intersection join, cost per step (Figure 17)",
+        )
+    )
+    sec_total, clu_total = rows[0][-1], rows[1][-1]
+    print(f"\nglobal clustering speeds the complete join up "
+          f"{sec_total / clu_total:.1f}x — the paper reports ~4x.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

@@ -1,0 +1,88 @@
+"""Window-query study: why global clustering wins on large requests.
+
+Rebuilds the heart of the paper's Figure 8 on a synthetic street map:
+the same workload runs against the secondary, primary and cluster
+organizations, and the normalised I/O cost (milliseconds per 4 KB of
+retrieved data) is reported per window size, together with the cluster
+organization's speed-up.
+
+Run with::
+
+    python examples/window_query_study.py [scale]
+
+where ``scale`` (default 0.02) is the fraction of the paper's 131,461
+street objects to generate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.policy import ClusterPolicy
+from repro.core.organization import ClusterOrganization
+from repro.data import generate_map, scaled, spec_for, window_workload
+from repro.eval.metrics import run_window_queries
+from repro.eval.report import format_table
+from repro.storage.primary import PrimaryOrganization
+from repro.storage.secondary import SecondaryOrganization
+
+WINDOW_AREAS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+
+
+def main(scale: float = 0.02) -> None:
+    spec = scaled(spec_for("A-1"), scale)
+    print(f"generating {spec.n_objects} street objects "
+          f"(series A-1 at scale {scale}) ...")
+    objects = generate_map(spec, seed=1994)
+
+    organizations = []
+    for cls, kwargs in (
+        (SecondaryOrganization, {}),
+        (PrimaryOrganization, {}),
+        (ClusterOrganization, {"policy": ClusterPolicy(spec.smax_bytes)}),
+    ):
+        org = cls(**kwargs)
+        org.build(objects)
+        organizations.append(org)
+        print(f"built {org.name:10s} organization: "
+              f"{org.occupied_pages():6d} pages, "
+              f"construction I/O {org.construction_io.total_s:8.1f} s")
+
+    rows = []
+    for area in WINDOW_AREAS:
+        windows = window_workload(objects, area, n_queries=60, seed=7)
+        costs = {
+            org.name: run_window_queries(org, windows) for org in organizations
+        }
+        speedup = (
+            costs["secondary"].ms_per_4kb / costs["cluster"].ms_per_4kb
+        )
+        rows.append(
+            (
+                f"{area * 100:g}%",
+                costs["secondary"].ms_per_4kb,
+                costs["primary"].ms_per_4kb,
+                costs["cluster"].ms_per_4kb,
+                speedup,
+                costs["cluster"].answers_per_query,
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ["window area", "secondary", "primary", "cluster",
+             "speedup", "answers/query"],
+            rows,
+            title="normalised window-query I/O cost (ms per 4 KB of data)",
+        )
+    )
+    print(
+        "\nThe larger the window, the harder the secondary organization's "
+        "one-seek-per-object pattern hurts,\nwhile the cluster organization "
+        "streams whole cluster units — the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

@@ -1,0 +1,5 @@
+"""Buffer management (LRU page cache)."""
+
+from repro.buffer.lru import LRUBuffer
+
+__all__ = ["LRUBuffer"]

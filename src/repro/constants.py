@@ -1,0 +1,51 @@
+"""Paper-level constants for the VLDB'94 global-clustering reproduction.
+
+All defaults follow Section 5.1 of Brinkhoff & Kriegel (VLDB 1994):
+
+* pages are 4 KB,
+* one object entry in a data page occupies 46 bytes (MBR, identifier and,
+  where needed, a pointer to the exact representation),
+* the disk is characterised by an average seek time of 9 ms, an average
+  rotational latency of 6 ms and a transfer time of 1 ms per 4 KB page
+  (average values for early-90s disks, [HS94]).
+
+The derived quantities (page capacity ``M``, the R*-tree minimum fill
+``m = 0.4 * M`` and the reinsert fraction ``p = 0.3 * M``) follow the
+R*-tree paper [BKSS90].
+"""
+
+from __future__ import annotations
+
+PAGE_SIZE: int = 4096
+"""Size of one disk page in bytes (Section 5.1)."""
+
+ENTRY_SIZE: int = 46
+"""Bytes used by one object entry in an R*-tree data page (Section 5.1)."""
+
+PAGE_CAPACITY: int = PAGE_SIZE // ENTRY_SIZE
+"""Maximum number of entries ``M`` per R*-tree node (= 89 for 4 KB pages)."""
+
+MIN_FILL_FRACTION: float = 0.4
+"""R*-tree minimum fill ``m = 0.4 * M`` as recommended by [BKSS90]."""
+
+REINSERT_FRACTION: float = 0.3
+"""Fraction ``p`` of entries removed during a forced reinsert [BKSS90]."""
+
+SEEK_TIME_MS: float = 9.0
+"""Average seek time ``ts`` in milliseconds (Section 5.1)."""
+
+LATENCY_TIME_MS: float = 6.0
+"""Average rotational latency ``tl`` in milliseconds (Section 5.1)."""
+
+TRANSFER_TIME_MS: float = 1.0
+"""Transfer time ``tt`` of one 4 KB page in milliseconds (Section 5.1)."""
+
+CLUSTER_SIZE_FACTOR: float = 1.5
+"""Factor in the maximum cluster size rule ``Smax = 1.5 * M * S_obj``."""
+
+EXACT_TEST_MS: float = 0.75
+"""CPU cost of one exact geometry intersection test using the decomposed
+representation of [SK91], as assumed in Section 6.3 (Figure 17)."""
+
+DEFAULT_DATA_SPACE: float = 1_000_000.0
+"""Side length of the square data space used by the synthetic maps."""

@@ -1,0 +1,70 @@
+"""Hilbert space-filling curve — global *order* for global clustering.
+
+The related work the paper builds on ([HSW88] "Globally Order
+Preserving Multidimensional Linear Hashing", [HWZ91] "Global Order
+Makes Spatial Access Faster") achieves global clustering through a
+linear order on the data space.  This module provides the classic
+Hilbert curve index and a sort key for spatial objects, used by the
+``order="hilbert"`` bulk-loading extension: inserting objects in
+Hilbert order makes consecutive insertions hit neighbouring data pages
+and cluster units, which slashes construction I/O and tightens the
+resulting R*-tree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.geometry.feature import SpatialObject
+
+__all__ = ["hilbert_index", "hilbert_sort_key", "sort_by_hilbert"]
+
+
+def hilbert_index(x: int, y: int, order: int) -> int:
+    """Index of the cell ``(x, y)`` on the Hilbert curve of the given
+    order (the grid is ``2^order`` cells per side).
+
+    Classic iterative x,y → d conversion with quadrant rotation.
+    """
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ConfigurationError(
+            f"cell ({x}, {y}) outside the {side}x{side} Hilbert grid"
+        )
+    rx = ry = 0
+    d = 0
+    s = side >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # rotate the quadrant
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hilbert_sort_key(
+    obj: SpatialObject, data_space: float, order: int = 16
+) -> int:
+    """Hilbert index of the object's MBR center on a ``2^order`` grid
+    over the square data space."""
+    if data_space <= 0:
+        raise ConfigurationError("data_space must be positive")
+    side = 1 << order
+    cx, cy = obj.mbr.center()
+    gx = min(side - 1, max(0, int(cx / data_space * side)))
+    gy = min(side - 1, max(0, int(cy / data_space * side)))
+    return hilbert_index(gx, gy, order)
+
+
+def sort_by_hilbert(
+    objects: list[SpatialObject], data_space: float, order: int = 16
+) -> list[SpatialObject]:
+    """The objects sorted along the Hilbert curve (a new list)."""
+    return sorted(
+        objects, key=lambda o: hilbert_sort_key(o, data_space, order)
+    )

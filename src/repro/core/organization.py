@@ -1,0 +1,433 @@
+"""The cluster organization (Section 4) — the paper's contribution.
+
+Three levels: the R*-tree directory organizes data pages; every data
+page holds the MBRs of up to ``M`` objects and references exactly one
+**cluster unit**; the cluster unit stores the exact representations of
+those objects on physically consecutive pages.
+
+The R*-tree is modified exactly as Section 4.2.1 prescribes:
+
+* **cluster split** — a data page is split (and its objects are
+  redistributed onto two fresh cluster units with the R*-tree split
+  algorithm) when the unit's byte size exceeds ``Smax`` *or* its entry
+  count exceeds ``M``;
+* **no forced reinsert on the data-page level** — reinsertion would
+  physically move objects between cluster units.
+
+Objects larger than ``Smax`` are stored in separate storage units
+(footnote 1 of Section 4.2.2).  Cluster units live either in fixed
+``Smax`` extents or under the (restricted) buddy system of
+Section 5.3.1.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import ClusterPolicy
+from repro.core.techniques import (
+    TECHNIQUES,
+    adaptive_prefers_complete,
+    geometric_threshold,
+    read_complete,
+    read_optimum,
+    read_per_object,
+    read_slm,
+)
+from repro.core.unit import ClusterUnit
+from repro.disk.buddy import BuddyAllocator, FixedUnitAllocator
+from repro.disk.extent import Extent
+from repro.errors import ConfigurationError, StorageError
+from repro.geometry.feature import SpatialObject
+from repro.geometry.rect import Rect
+from repro.rtree.capacity import CountOrByteCapacity
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.pager import NodePager
+from repro.rtree.rstar import RStarTree
+from repro.storage.base import QueryResult, SpatialOrganization
+
+__all__ = ["ClusterOrganization"]
+
+
+class ClusterOrganization(SpatialOrganization):
+    """Global clustering via per-data-page cluster units."""
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        policy: ClusterPolicy,
+        technique: str = "complete",
+        leaf_reinsert: bool = False,
+        **kwargs,
+    ):
+        """``leaf_reinsert`` defaults to off — Section 4.2.1's second
+        R*-tree modification (a reinsertion physically moves objects
+        between cluster units).  Enabling it is supported purely for the
+        ablation study quantifying that design decision."""
+        if technique not in TECHNIQUES:
+            raise ConfigurationError(
+                f"unknown query technique '{technique}'; valid: {TECHNIQUES}"
+            )
+        self.policy = policy
+        self.technique = technique
+        self.leaf_reinsert = leaf_reinsert
+        self._unit_of: dict[int, ClusterUnit] = {}
+        self._oversize: dict[int, Extent] = {}
+        self._total_object_bytes = 0
+        super().__init__(**kwargs)
+        if self.page_size != policy.page_size:
+            raise ConfigurationError(
+                "organization and cluster policy disagree on the page size"
+            )
+        unit_region = self._claim_region("units")
+        if policy.buddy_sizes is None:
+            self._unit_alloc: FixedUnitAllocator | BuddyAllocator = (
+                FixedUnitAllocator(unit_region, policy.smax_pages)
+            )
+        else:
+            self._unit_alloc = BuddyAllocator(
+                unit_region, policy.smax_pages, policy.buddy_sizes
+            )
+        self._oversize_region = self._claim_region("oversize")
+
+    # ------------------------------------------------------------------
+    # tree wiring
+    # ------------------------------------------------------------------
+    def _build_tree(self, pager: NodePager) -> RStarTree:
+        return RStarTree(
+            max_entries=self.max_entries,
+            leaf_capacity=CountOrByteCapacity(
+                self.max_entries, self.policy.smax_bytes
+            ),
+            leaf_reinsert=self.leaf_reinsert,
+            pager=pager,
+            leaf_split_handler=self._on_leaf_split,
+            entry_added_handler=self._on_entry_added,
+        )
+
+    def _is_oversize(self, obj: SpatialObject) -> bool:
+        return obj.size_bytes > self.policy.smax_bytes
+
+    def _entry_load(self, obj: SpatialObject) -> int:
+        """Oversize objects contribute nothing to their unit's byte
+        size (they live outside); everything else weighs its exact
+        representation."""
+        if self._is_oversize(obj):
+            return 0
+        return obj.size_bytes
+
+    def _store_object(self, obj: SpatialObject) -> Extent | None:
+        self._total_object_bytes += obj.size_bytes
+        if self._is_oversize(obj):
+            extent = self._oversize_region.allocate(
+                self.pages_for(obj.size_bytes)
+            )
+            self._oversize[obj.oid] = extent
+            self.disk.write_extent(extent)
+            return extent
+        return None  # placed by the entry-added hook, which knows the leaf
+
+    def _unstore_object(self, obj: SpatialObject) -> None:
+        extent = self._oversize.pop(obj.oid, None)
+        if extent is not None:
+            self._oversize_region.free(extent)
+        self._total_object_bytes -= obj.size_bytes
+        unit = self._unit_of.pop(obj.oid, None)
+        if unit is not None:
+            unit.remove(obj.oid)
+            if not unit.live:
+                self._free_unit(unit)
+
+    def _free_unit(self, unit: ClusterUnit) -> None:
+        """Give an empty unit's physical extent back and detach it from
+        its data page."""
+        self._unit_alloc.free(unit.extent)
+        if unit.owner is not None and unit.owner.tag is unit:
+            unit.owner.tag = None
+        unit.owner = None
+
+    # ------------------------------------------------------------------
+    # physical placement hooks
+    # ------------------------------------------------------------------
+    def _new_unit(self, size_bytes: int) -> ClusterUnit:
+        """Allocate the physical unit for a cluster of ``size_bytes``
+        (clamped to ``Smax``: a transiently overflowing cluster is
+        re-split immediately by the tree)."""
+        pages = max(1, -(-size_bytes // self.page_size))
+        pages = min(pages, self.policy.smax_pages)
+        return ClusterUnit(self._unit_alloc.allocate(pages), self.page_size)
+
+    def _priced_pages(self, unit: ClusterUnit) -> int:
+        """Used pages clamped to the physical extent (a unit may
+        logically overflow for the single insert preceding its split)."""
+        return min(unit.used_pages, unit.extent.npages)
+
+    def _rewrite_unit(self, unit: ClusterUnit) -> None:
+        """Compact a unit in place (read + write of its used pages)."""
+        used = self._priced_pages(unit)
+        if used:
+            self.disk.read(unit.extent.start, used)
+        unit.repack()
+        used = self._priced_pages(unit)
+        if used:
+            self.disk.write(unit.extent.start, used)
+
+    def _grow_unit(self, unit: ClusterUnit, needed_bytes: int) -> None:
+        """Move a unit into a larger buddy (Section 5.3.1): read it,
+        repack, reallocate, write it back."""
+        if not isinstance(self._unit_alloc, BuddyAllocator):
+            raise StorageError("only buddy-backed units can grow")
+        used = self._priced_pages(unit)
+        if used:
+            self.disk.read(unit.extent.start, used)
+        unit.repack()
+        pages = max(1, -(-needed_bytes // self.page_size))
+        pages = min(pages, self.policy.smax_pages)
+        unit.extent = self._unit_alloc.grow(unit.extent, pages)
+        used = self._priced_pages(unit)
+        if used:
+            self.disk.write(unit.extent.start, used)
+
+    def _on_entry_added(self, leaf: Node, entry: Entry) -> None:
+        """Step 3 of the insertion algorithm (Section 4.2.2): append the
+        object to the cluster unit of the chosen data page."""
+        oid = entry.oid
+        assert oid is not None
+        if oid in self._oversize:
+            return
+        obj = self.objects[oid]
+        size = obj.size_bytes
+
+        old_unit = self._unit_of.get(oid)
+        if old_unit is not None:
+            # Relocation (deletion-time condensation moved the entry):
+            # the object is read from its old unit and appended anew.
+            start, npages = old_unit.page_span(oid)
+            self.disk.read(old_unit.extent.start + start, npages)
+            old_unit.remove(oid)
+            if not old_unit.live:
+                self._free_unit(old_unit)
+
+        unit: ClusterUnit | None = leaf.tag
+        if unit is None:
+            unit = self._new_unit(size)
+            unit.owner = leaf
+            leaf.tag = unit
+
+        if not unit.fits(size):
+            if unit.would_fit_after_repack(size):
+                self._rewrite_unit(unit)
+            elif (
+                isinstance(self._unit_alloc, BuddyAllocator)
+                and unit.live_bytes + size <= self.policy.smax_bytes
+            ):
+                self._grow_unit(unit, unit.live_bytes + size)
+            # else: the unit overflows Smax; the tree splits this data
+            # page immediately after this hook returns, rebuilding both
+            # halves into fresh units.
+
+        start_rel, completed = unit.append(oid, size)
+        self._unit_of[oid] = unit
+        if completed > 0:
+            first = min(start_rel, unit.extent.npages - 1)
+            count = min(completed, unit.extent.npages - first)
+            self.disk.write(unit.extent.start + first, max(1, count))
+
+    def _on_leaf_split(self, old_leaf: Node, new_leaf: Node) -> None:
+        """The cluster split (Section 4.2.2 step 4): the old unit is
+        read with a single request — the global clustering pays off
+        during the split too — and the objects are distributed onto two
+        cluster units following the R*-tree's entry distribution.
+
+        The group staying with the old data page keeps its place in the
+        old unit (dead space is compacted lazily); only the moved group
+        is written into a fresh unit.  Under the buddy system the old
+        unit additionally shrinks into the smallest fitting buddy, as
+        "the two new cluster units are generally stored in smaller
+        buddies" (Section 5.3.1) — the extra write is part of the buddy
+        system's slightly higher construction cost (Figure 7).
+        """
+        old_unit: ClusterUnit | None = old_leaf.tag
+        if old_unit is not None and old_unit.live:
+            used = self._priced_pages(old_unit)
+            if used:
+                self.disk.read(old_unit.extent.start, used)
+
+        def in_unit_oids(leaf: Node) -> list[int]:
+            return [
+                e.oid
+                for e in leaf.entries
+                if e.oid is not None and e.oid not in self._oversize
+            ]
+
+        moved = in_unit_oids(new_leaf)
+        if moved:
+            total = sum(self.objects[oid].size_bytes for oid in moved)
+            unit = self._new_unit(total)
+            for oid in moved:
+                if old_unit is not None and oid in old_unit.live:
+                    old_unit.remove(oid)
+                unit.append(oid, self.objects[oid].size_bytes)
+                self._unit_of[oid] = unit
+            unit.owner = new_leaf
+            new_leaf.tag = unit
+            used = self._priced_pages(unit)
+            if used:
+                self.disk.write(unit.extent.start, used)
+        else:
+            new_leaf.tag = None
+
+        kept = in_unit_oids(old_leaf)
+        if old_unit is None:
+            old_leaf.tag = None
+            return
+        if not kept:
+            self._free_unit(old_unit)
+            old_leaf.tag = None
+            return
+        old_unit.owner = old_leaf
+        old_leaf.tag = old_unit
+        if isinstance(self._unit_alloc, BuddyAllocator):
+            # Shrink into the smallest fitting buddy.
+            old_unit.repack()
+            pages = max(1, -(-old_unit.live_bytes // self.page_size))
+            target_level = self._unit_alloc.level_for(pages)
+            if self._unit_alloc.sizes[target_level] < old_unit.extent.npages:
+                self._unit_alloc.free(old_unit.extent)
+                old_unit.extent = self._unit_alloc.allocate(pages)
+                used = self._priced_pages(old_unit)
+                if used:
+                    self.disk.write(old_unit.extent.start, used)
+
+    # ------------------------------------------------------------------
+    # retrieval: the query techniques of Section 5.4
+    # ------------------------------------------------------------------
+    def _avg_entries_per_page(self) -> float:
+        leaves = max(1, self.tree.leaf_count)
+        return max(1.0, self.tree.size / leaves)
+
+    def _avg_pages_per_object(self) -> float:
+        count = max(1, len(self.objects))
+        avg_size = self._total_object_bytes / count
+        return avg_size / self.page_size + 0.5
+
+    def _retrieve(
+        self,
+        groups: list[tuple[Node, list[Entry]]],
+        result: QueryResult,
+        window: Rect | None = None,
+        selective: bool = False,
+    ) -> list[SpatialObject]:
+        candidates: list[SpatialObject] = []
+        for leaf, entries in groups:
+            in_unit: list[int] = []
+            for entry in entries:
+                assert entry.oid is not None
+                extent = self._oversize.get(entry.oid)
+                if extent is not None:
+                    self.disk.read_extent(extent)
+                    candidates.append(self.objects[entry.oid])
+                else:
+                    in_unit.append(entry.oid)
+            if not in_unit:
+                continue
+            unit: ClusterUnit | None = leaf.tag
+            if unit is None:
+                raise StorageError(
+                    f"data page {leaf.node_id} has objects but no cluster unit"
+                )
+            self._read_unit(unit, in_unit, leaf, window, selective)
+            candidates.extend(self.objects[oid] for oid in in_unit)
+        return candidates
+
+    def _read_unit(
+        self,
+        unit: ClusterUnit,
+        oids: list[int],
+        leaf: Node,
+        window: Rect | None,
+        selective: bool,
+    ) -> None:
+        """Price the object transfer for one cluster unit according to
+        the configured technique."""
+        if selective:
+            # Point queries dereference each object individually through
+            # the unit's relative addresses (Section 4.2.2) — the same
+            # access pattern as the secondary organization, which is why
+            # Figure 12 shows "almost no difference" between the two.
+            for oid in oids:
+                start, npages = unit.page_span(oid)
+                self.disk.read(unit.extent.start + start, npages)
+            return
+        technique = self.technique
+        if technique == "threshold" and window is not None:
+            region = leaf.mbr()
+            threshold = geometric_threshold(
+                max(1, self._priced_pages(unit)),
+                self._avg_entries_per_page(),
+                self._avg_pages_per_object(),
+                self.disk.params,
+            )
+            if region.overlap_fraction(window) >= threshold:
+                read_complete(self.disk, unit)
+            else:
+                read_per_object(self.disk, unit, oids)
+        elif technique == "adaptive":
+            # Extension beyond the paper: the filter step already knows
+            # exactly how many objects the unit must deliver.
+            if adaptive_prefers_complete(
+                max(1, self._priced_pages(unit)),
+                len(oids),
+                self._avg_pages_per_object(),
+                self.disk.params,
+            ):
+                read_complete(self.disk, unit)
+            else:
+                read_per_object(self.disk, unit, oids)
+        elif technique == "complete" or technique == "threshold":
+            read_complete(self.disk, unit)
+        elif technique == "page":
+            read_per_object(self.disk, unit, oids)
+        elif technique == "slm":
+            read_slm(self.disk, unit, oids)
+        elif technique == "optimum":
+            read_optimum(self.disk, unit, oids)
+        else:  # pragma: no cover - guarded in __init__
+            raise ConfigurationError(f"unknown technique {technique}")
+
+    # ------------------------------------------------------------------
+    # reporting / join support
+    # ------------------------------------------------------------------
+    def occupied_pages(self) -> int:
+        """Tree pages plus the full physical units (non-occupied pages
+        of a cluster unit cannot be used for anything else, Section 5.3)
+        plus oversize storage."""
+        return (
+            self.tree_pages()
+            + self._unit_alloc.occupied_pages
+            + self._oversize_region.high_water_pages
+        )
+
+    @property
+    def unit_moves(self) -> int:
+        """Buddy-system unit relocations (construction-cost overhead)."""
+        return self._unit_alloc.moves
+
+    def unit_count(self) -> int:
+        return self._unit_alloc.unit_count
+
+    def unit_for(self, oid: int) -> ClusterUnit | None:
+        """The cluster unit holding an object (``None`` for oversize
+        objects); used by the spatial join's object transfer."""
+        return self._unit_of.get(oid)
+
+    def oversize_extent(self, oid: int) -> Extent | None:
+        return self._oversize.get(oid)
+
+    def units(self) -> list[ClusterUnit]:
+        """All live cluster units (via the data pages)."""
+        seen: list[ClusterUnit] = []
+        for leaf in self.tree.leaves():
+            if leaf.tag is not None:
+                seen.append(leaf.tag)
+        return seen

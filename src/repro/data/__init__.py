@@ -1,0 +1,31 @@
+"""Synthetic TIGER-like datasets and query workloads (Section 5.1)."""
+
+from repro.data.calibrate import (
+    PAIRS_PER_OBJECT_VERSION_A,
+    PAIRS_PER_OBJECT_VERSION_B,
+    calibrate_expansion,
+    pairs_per_object,
+)
+from repro.data.series import TABLE1, SeriesSpec, scaled, spec_for
+from repro.data.tiger import MapGenerator, generate_map
+from repro.data.workload import (
+    PAPER_WINDOW_AREAS,
+    point_workload,
+    window_workload,
+)
+
+__all__ = [
+    "SeriesSpec",
+    "TABLE1",
+    "spec_for",
+    "scaled",
+    "MapGenerator",
+    "generate_map",
+    "PAPER_WINDOW_AREAS",
+    "window_workload",
+    "point_workload",
+    "calibrate_expansion",
+    "pairs_per_object",
+    "PAIRS_PER_OBJECT_VERSION_A",
+    "PAIRS_PER_OBJECT_VERSION_B",
+]

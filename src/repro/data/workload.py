@@ -1,0 +1,61 @@
+"""Query workloads (Sections 5.4 and 5.5).
+
+The paper runs 678 window queries per window size; window areas range
+from 0.001 % to 10 % of the data space, and "the distribution of the
+query windows followed the distribution of the MBRs in such a way that
+each window center was contained in the MBR of a stored object".  Point
+queries reuse the window centers (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import DEFAULT_DATA_SPACE
+from repro.errors import ConfigurationError
+from repro.geometry.feature import SpatialObject
+from repro.geometry.rect import Rect
+
+__all__ = ["PAPER_WINDOW_AREAS", "window_workload", "point_workload"]
+
+PAPER_WINDOW_AREAS: tuple[float, ...] = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+"""Window areas as fractions of the data space: 0.001 % … 10 %."""
+
+
+def window_workload(
+    objects: list[SpatialObject],
+    area_fraction: float,
+    n_queries: int = 678,
+    seed: int = 715,
+    data_space: float = DEFAULT_DATA_SPACE,
+) -> list[Rect]:
+    """Square query windows whose centers follow the MBR distribution.
+
+    Each center is a uniform point inside the MBR of a randomly chosen
+    stored object; the window is clamped into the data space.
+    """
+    if not objects:
+        raise ConfigurationError("cannot build a workload over zero objects")
+    if not (0.0 < area_fraction <= 1.0):
+        raise ConfigurationError(
+            f"area fraction must be in (0, 1], got {area_fraction}"
+        )
+    rng = np.random.default_rng((seed, int(area_fraction * 1e9)))
+    side = math.sqrt(area_fraction) * data_space
+    picks = rng.integers(0, len(objects), n_queries)
+    windows: list[Rect] = []
+    for pick in picks:
+        mbr = objects[int(pick)].mbr
+        cx = rng.uniform(mbr.xmin, mbr.xmax) if mbr.width > 0 else mbr.xmin
+        cy = rng.uniform(mbr.ymin, mbr.ymax) if mbr.height > 0 else mbr.ymin
+        xmin = min(max(cx - side / 2.0, 0.0), data_space - side)
+        ymin = min(max(cy - side / 2.0, 0.0), data_space - side)
+        windows.append(Rect(xmin, ymin, xmin + side, ymin + side))
+    return windows
+
+
+def point_workload(windows: list[Rect]) -> list[tuple[float, float]]:
+    """The point queries of Section 5.5: the centers of the windows."""
+    return [w.center() for w in windows]

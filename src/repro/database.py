@@ -1,0 +1,226 @@
+"""High-level facade: a spatial database with a pluggable organization.
+
+:class:`SpatialDatabase` bundles the pieces a downstream user needs —
+an organization model over a simulated disk, query entry points, the
+spatial join, and statistics — behind one constructor.  The examples
+under ``examples/`` are written exclusively against this API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.constants import PAGE_CAPACITY, PAGE_SIZE
+from repro.core.organization import ClusterOrganization
+from repro.core.policy import ClusterPolicy, smax_bytes_for
+from repro.disk.allocator import PageAllocator
+from repro.disk.model import DiskModel, DiskStats
+from repro.disk.params import DiskParameters
+from repro.errors import ConfigurationError, ObjectTooLargeError
+from repro.geometry.feature import SpatialObject
+from repro.geometry.polyline import Polyline
+from repro.geometry.rect import Rect
+from repro.join.multistep import JoinResult, spatial_join
+from repro.rtree.stats import TreeStats, tree_stats
+from repro.storage.base import QueryResult, SpatialOrganization
+from repro.storage.primary import PrimaryOrganization
+from repro.storage.secondary import SecondaryOrganization
+
+__all__ = ["SpatialDatabase"]
+
+
+class SpatialDatabase:
+    """A spatial database over one simulated disk.
+
+    Parameters
+    ----------
+    organization:
+        ``"cluster"`` (default, the paper's contribution),
+        ``"secondary"`` or ``"primary"``.
+    smax_bytes:
+        Maximum cluster unit size; required for the cluster organization
+        unless ``avg_object_size`` is given (then the paper's
+        ``Smax = 1.5 * M * S_obj`` rule applies).
+    avg_object_size:
+        Expected average object size used to derive ``Smax``.
+    technique:
+        Window-query read technique for the cluster organization
+        (``complete`` / ``threshold`` / ``slm`` / ``page`` / ``optimum``).
+    buddy_sizes:
+        Number of buddy sizes for cluster-unit storage (``None`` = fixed
+        ``Smax`` extents; the paper's restricted system uses 3).
+    disk_params:
+        Disk timing constants (defaults to the paper's 9/6/1 ms disk).
+    max_object_bytes:
+        Optional hard limit on the exact-representation size of inserted
+        objects; :class:`~repro.errors.ObjectTooLargeError` is raised
+        beyond it.  ``None`` (default) accepts any size — the cluster
+        organization stores objects beyond ``Smax`` in separate storage
+        units (footnote 1 of Section 4.2.2).
+    name:
+        Region prefix — give two databases on one shared disk distinct
+        names (see :meth:`attach`).
+
+    Example
+    -------
+    >>> db = SpatialDatabase(avg_object_size=625)
+    >>> db.insert_polyline(1, [(0, 0), (10, 10)])
+    >>> db.finalize()
+    >>> [o.oid for o in db.window_query(0, 0, 20, 20).objects]
+    [1]
+    """
+
+    def __init__(
+        self,
+        organization: str = "cluster",
+        smax_bytes: int | None = None,
+        avg_object_size: float | None = None,
+        technique: str = "complete",
+        buddy_sizes: int | None = None,
+        disk_params: DiskParameters | None = None,
+        page_size: int = PAGE_SIZE,
+        max_entries: int = PAGE_CAPACITY,
+        construction_buffer_pages: int = 256,
+        max_object_bytes: int | None = None,
+        name: str = "db",
+        _disk: DiskModel | None = None,
+        _allocator: PageAllocator | None = None,
+    ):
+        if max_object_bytes is not None and max_object_bytes <= 0:
+            raise ConfigurationError("max_object_bytes must be positive")
+        self.disk = _disk or DiskModel(disk_params)
+        self.allocator = _allocator or PageAllocator()
+        self.max_object_bytes = max_object_bytes
+        self.name = name
+        common = dict(
+            disk=self.disk,
+            allocator=self.allocator,
+            page_size=page_size,
+            max_entries=max_entries,
+            construction_buffer_pages=construction_buffer_pages,
+            region_prefix=name,
+        )
+        if organization == "cluster":
+            if smax_bytes is None:
+                if avg_object_size is None:
+                    raise ConfigurationError(
+                        "the cluster organization needs smax_bytes or "
+                        "avg_object_size to size its cluster units"
+                    )
+                smax_bytes = smax_bytes_for(
+                    avg_object_size, max_entries=max_entries, page_size=page_size
+                )
+            policy = ClusterPolicy(
+                smax_bytes, buddy_sizes=buddy_sizes, page_size=page_size
+            )
+            self.storage: SpatialOrganization = ClusterOrganization(
+                policy=policy, technique=technique, **common
+            )
+        elif organization == "secondary":
+            self.storage = SecondaryOrganization(**common)
+        elif organization == "primary":
+            self.storage = PrimaryOrganization(**common)
+        else:
+            raise ConfigurationError(
+                f"unknown organization '{organization}'; valid: "
+                f"cluster, secondary, primary"
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def insert(self, obj: SpatialObject) -> None:
+        """Insert one spatial object.
+
+        Raises :class:`~repro.errors.ObjectTooLargeError` when a
+        ``max_object_bytes`` limit is configured and exceeded.
+        """
+        if (
+            self.max_object_bytes is not None
+            and obj.size_bytes > self.max_object_bytes
+        ):
+            raise ObjectTooLargeError(
+                f"object {obj.oid} has {obj.size_bytes} B, database limit "
+                f"is {self.max_object_bytes} B"
+            )
+        self.storage.insert(obj)
+
+    def insert_polyline(
+        self,
+        oid: int,
+        vertices: Sequence[tuple[float, float]],
+        size_bytes: int | None = None,
+    ) -> SpatialObject:
+        """Convenience: build and insert a polyline object."""
+        obj = SpatialObject(oid, Polyline(vertices), size_bytes=size_bytes)
+        self.insert(obj)
+        return obj
+
+    def build(self, objects: Iterable[SpatialObject]) -> DiskStats:
+        """Bulk-insert (one by one, unsorted — Section 5.2) and
+        finalize; returns the construction I/O statistics."""
+        return self.storage.build(list(objects))
+
+    def finalize(self) -> None:
+        """Flush construction buffers and switch to measurement mode."""
+        self.storage.finalize_build()
+
+    def delete(self, oid: int) -> SpatialObject:
+        """Remove an object by id."""
+        return self.storage.delete(oid)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def window_query(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> QueryResult:
+        """All objects sharing points with the window (Section 2)."""
+        return self.storage.window_query(Rect(xmin, ymin, xmax, ymax))
+
+    def point_query(self, x: float, y: float) -> QueryResult:
+        """All objects geometrically containing the point (Section 2)."""
+        return self.storage.point_query(x, y)
+
+    def join(
+        self,
+        other: "SpatialDatabase",
+        buffer_pages: int = 1600,
+        technique: str = "complete",
+        evaluate_exact: bool = False,
+    ) -> JoinResult:
+        """Intersection join with another database on the same disk."""
+        return spatial_join(
+            self.storage,
+            other.storage,
+            buffer_pages=buffer_pages,
+            technique=technique,
+            evaluate_exact=evaluate_exact,
+        )
+
+    def attach(self, name: str, **kwargs) -> "SpatialDatabase":
+        """A second database (relation) on this database's disk — the
+        setup a spatial join needs."""
+        if name == self.name:
+            raise ConfigurationError(
+                f"attached database needs a name different from '{self.name}'"
+            )
+        return SpatialDatabase(
+            name=name, _disk=self.disk, _allocator=self.allocator, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.storage)
+
+    def io_stats(self) -> DiskStats:
+        """Cumulative I/O statistics of the underlying disk."""
+        return self.disk.stats()
+
+    def occupied_pages(self) -> int:
+        return self.storage.occupied_pages()
+
+    def tree_stats(self) -> TreeStats:
+        return tree_stats(self.storage.tree)

@@ -1,0 +1,212 @@
+"""The disk cost model.
+
+:class:`DiskModel` is a deterministic accountant for simulated I/O time.
+It never stores data — the organization models keep their own in-memory
+state — it *prices* every read and write request with the three-component
+model of Section 3.1:
+
+* a **fresh** request costs ``ts + tl + k * tt``,
+* a **continuation** request (a follow-up inside a cluster unit that the
+  head is already positioned on, Section 5.4.3) costs ``tl + k * tt``,
+* a **strictly sequential** request (the next page after the previous
+  request, detected from the simulated head position) costs ``k * tt``.
+
+Every request updates the head position; statistics are kept both as
+accumulated milliseconds per component and as event counts, and can be
+snapshot to measure individual experiment phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.extent import Extent
+from repro.disk.params import DiskParameters
+from repro.errors import DiskError
+
+__all__ = ["DiskModel", "DiskStats"]
+
+
+@dataclass(slots=True)
+class DiskStats:
+    """Accumulated I/O statistics of a :class:`DiskModel`.
+
+    Supports subtraction, so a phase cost is
+    ``disk.stats() - snapshot_taken_before_the_phase``.
+    """
+
+    requests: int = 0
+    seeks: int = 0
+    rotations: int = 0
+    pages_transferred: int = 0
+    seek_ms: float = 0.0
+    latency_ms: float = 0.0
+    transfer_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        """Total simulated I/O time in milliseconds."""
+        return self.seek_ms + self.latency_ms + self.transfer_ms
+
+    @property
+    def total_s(self) -> float:
+        """Total simulated I/O time in seconds (the unit of Figures 5/14)."""
+        return self.total_ms / 1000.0
+
+    def __sub__(self, other: "DiskStats") -> "DiskStats":
+        return DiskStats(
+            requests=self.requests - other.requests,
+            seeks=self.seeks - other.seeks,
+            rotations=self.rotations - other.rotations,
+            pages_transferred=self.pages_transferred - other.pages_transferred,
+            seek_ms=self.seek_ms - other.seek_ms,
+            latency_ms=self.latency_ms - other.latency_ms,
+            transfer_ms=self.transfer_ms - other.transfer_ms,
+        )
+
+    def __add__(self, other: "DiskStats") -> "DiskStats":
+        return DiskStats(
+            requests=self.requests + other.requests,
+            seeks=self.seeks + other.seeks,
+            rotations=self.rotations + other.rotations,
+            pages_transferred=self.pages_transferred + other.pages_transferred,
+            seek_ms=self.seek_ms + other.seek_ms,
+            latency_ms=self.latency_ms + other.latency_ms,
+            transfer_ms=self.transfer_ms + other.transfer_ms,
+        )
+
+    def copy(self) -> "DiskStats":
+        return DiskStats(
+            requests=self.requests,
+            seeks=self.seeks,
+            rotations=self.rotations,
+            pages_transferred=self.pages_transferred,
+            seek_ms=self.seek_ms,
+            latency_ms=self.latency_ms,
+            transfer_ms=self.transfer_ms,
+        )
+
+
+@dataclass(slots=True)
+class _Request:
+    """One priced I/O request, kept when tracing is enabled."""
+
+    kind: str
+    start: int
+    npages: int
+    cost_ms: float
+
+
+class DiskModel:
+    """Prices read/write requests and tracks the simulated head position.
+
+    Parameters
+    ----------
+    params:
+        The disk constants; defaults to the paper's 9 / 6 / 1 ms disk.
+    trace:
+        When true, every request is recorded in :attr:`requests` — useful
+        for tests and debugging, expensive for full experiments.
+    """
+
+    __slots__ = ("params", "_stats", "_head", "trace", "requests")
+
+    def __init__(self, params: DiskParameters | None = None, trace: bool = False):
+        self.params = params or DiskParameters()
+        self._stats = DiskStats()
+        self._head: int | None = None
+        self.trace = trace
+        self.requests: list[_Request] = []
+
+    # ------------------------------------------------------------------
+    # pricing
+    # ------------------------------------------------------------------
+    def _transfer(self, start: int, npages: int, continuation: bool, kind: str) -> float:
+        if npages <= 0:
+            raise DiskError(f"cannot transfer {npages} pages")
+        if start < 0:
+            raise DiskError(f"negative page number {start}")
+        p = self.params
+        sequential = self._head is not None and start == self._head
+        if sequential:
+            cost = p.sequential_ms(npages)
+            self._stats.transfer_ms += npages * p.transfer_ms
+        elif continuation:
+            cost = p.continuation_ms(npages)
+            self._stats.rotations += 1
+            self._stats.latency_ms += p.latency_ms
+            self._stats.transfer_ms += npages * p.transfer_ms
+        else:
+            cost = p.random_access_ms(npages)
+            self._stats.seeks += 1
+            self._stats.rotations += 1
+            self._stats.seek_ms += p.seek_ms
+            self._stats.latency_ms += p.latency_ms
+            self._stats.transfer_ms += npages * p.transfer_ms
+        self._stats.requests += 1
+        self._stats.pages_transferred += npages
+        self._head = start + npages
+        if self.trace:
+            self.requests.append(_Request(kind, start, npages, cost))
+        return cost
+
+    def read(self, start: int, npages: int = 1, continuation: bool = False) -> float:
+        """Price a read request of ``npages`` consecutive pages; returns
+        the cost of this request in milliseconds."""
+        return self._transfer(start, npages, continuation, "read")
+
+    def write(self, start: int, npages: int = 1, continuation: bool = False) -> float:
+        """Price a write request (same cost model as reads)."""
+        return self._transfer(start, npages, continuation, "write")
+
+    def charge(self, seeks: int = 0, rotations: int = 0, pages: int = 0) -> float:
+        """Account an *analytic* cost (used for theoretical optima such
+        as Figure 16's lower bound) without moving the head."""
+        if min(seeks, rotations, pages) < 0:
+            raise DiskError("cannot charge negative cost components")
+        p = self.params
+        self._stats.seeks += seeks
+        self._stats.rotations += rotations
+        self._stats.pages_transferred += pages
+        self._stats.seek_ms += seeks * p.seek_ms
+        self._stats.latency_ms += rotations * p.latency_ms
+        self._stats.transfer_ms += pages * p.transfer_ms
+        if seeks or rotations or pages:
+            self._stats.requests += 1
+        return seeks * p.seek_ms + rotations * p.latency_ms + pages * p.transfer_ms
+
+    def read_extent(self, extent: Extent, continuation: bool = False) -> float:
+        """Read a whole extent with one request."""
+        return self.read(extent.start, extent.npages, continuation)
+
+    def write_extent(self, extent: Extent, continuation: bool = False) -> float:
+        """Write a whole extent with one request."""
+        return self.write(extent.start, extent.npages, continuation)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def stats(self) -> DiskStats:
+        """A snapshot copy of the accumulated statistics."""
+        return self._stats.copy()
+
+    @property
+    def total_ms(self) -> float:
+        return self._stats.total_ms
+
+    @property
+    def head(self) -> int | None:
+        """Page number the head sits *after* (next sequential page),
+        or ``None`` before the first request."""
+        return self._head
+
+    def invalidate_head(self) -> None:
+        """Forget the head position (e.g. after activity by other
+        processes); the next request is priced as a fresh request."""
+        self._head = None
+
+    def reset(self) -> None:
+        """Zero all statistics and forget the head position."""
+        self._stats = DiskStats()
+        self._head = None
+        self.requests.clear()

@@ -1,0 +1,89 @@
+"""Disk parameterisation.
+
+Section 3.1 decomposes the access time of a page into seek time ``ts``,
+rotational latency ``tl`` and transfer time ``tt`` with ``ts > tl > tt``;
+Section 5.1 fixes the averages used throughout the evaluation (9 / 6 /
+1 ms for 4 KB pages).  :class:`DiskParameters` bundles these constants
+together with the derived quantities used by the query techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    LATENCY_TIME_MS,
+    PAGE_SIZE,
+    SEEK_TIME_MS,
+    TRANSFER_TIME_MS,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["DiskParameters"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiskParameters:
+    """Immutable description of the simulated magnetic disk.
+
+    Attributes
+    ----------
+    seek_ms:
+        Average seek time ``ts`` (move the head to the proper track).
+    latency_ms:
+        Average rotational latency ``tl``.
+    transfer_ms:
+        Transfer time ``tt`` of one page.
+    page_size:
+        Page size in bytes.
+    pages_per_cylinder:
+        Pages per cylinder; extents of physically consecutive pages are
+        assumed to fit one cylinder (track switches inside a cylinder are
+        neglected, Section 3.1).
+    """
+
+    seek_ms: float = SEEK_TIME_MS
+    latency_ms: float = LATENCY_TIME_MS
+    transfer_ms: float = TRANSFER_TIME_MS
+    page_size: int = PAGE_SIZE
+    pages_per_cylinder: int = 1024
+
+    def __post_init__(self) -> None:
+        if min(self.seek_ms, self.latency_ms, self.transfer_ms) < 0:
+            raise ConfigurationError("disk time components must be non-negative")
+        if not (self.seek_ms >= self.latency_ms >= self.transfer_ms):
+            raise ConfigurationError(
+                "the paper assumes ts >= tl >= tt; got "
+                f"ts={self.seek_ms}, tl={self.latency_ms}, tt={self.transfer_ms}"
+            )
+        if self.page_size <= 0 or self.pages_per_cylinder <= 0:
+            raise ConfigurationError("page_size and pages_per_cylinder must be > 0")
+
+    # ------------------------------------------------------------------
+    def random_access_ms(self, npages: int = 1) -> float:
+        """Cost of one fresh read request of ``npages`` consecutive pages:
+        ``ts + tl + npages * tt``."""
+        return self.seek_ms + self.latency_ms + npages * self.transfer_ms
+
+    def continuation_ms(self, npages: int = 1) -> float:
+        """Cost of a follow-up request inside the same cluster unit:
+        ``tl + npages * tt`` (Section 5.4.3 charges only one seek per
+        cluster unit, follow-ups pay a rotational delay)."""
+        return self.latency_ms + npages * self.transfer_ms
+
+    def sequential_ms(self, npages: int = 1) -> float:
+        """Cost of continuing a strictly sequential scan: pure transfer."""
+        return npages * self.transfer_ms
+
+    @property
+    def slm_gap_pages(self) -> int:
+        """SLM read-schedule gap rule of [SLM93] (Section 5.4.2).
+
+        A read request is interrupted when a run of ``l`` or more
+        non-requested pages occurs, ``l = tl / tt - 1/2`` (the trailing
+        correction terms of the published formula are ignored, as the
+        paper does).  Gaps strictly shorter than the returned page count
+        are cheaper to read through than to skip.
+        """
+        l = self.latency_ms / self.transfer_ms - 0.5
+        return max(1, int(-(-l // 1)))  # ceil, at least one page

@@ -1,0 +1,48 @@
+"""Phase-scoped I/O measurement helpers.
+
+Experiments need per-phase costs ("construction", "MBR join", "object
+transfer").  :class:`IOPhase` is a context manager that snapshots the
+disk statistics on entry and exposes the delta on exit.
+"""
+
+from __future__ import annotations
+
+from repro.disk.model import DiskModel, DiskStats
+
+__all__ = ["IOPhase"]
+
+
+class IOPhase:
+    """Measure the I/O cost of a code block.
+
+    Example
+    -------
+    >>> disk = DiskModel()
+    >>> with IOPhase(disk) as phase:
+    ...     _ = disk.read(0, 4)
+    >>> phase.stats.requests
+    1
+    """
+
+    __slots__ = ("disk", "_before", "stats")
+
+    def __init__(self, disk: DiskModel):
+        self.disk = disk
+        self._before: DiskStats | None = None
+        self.stats: DiskStats = DiskStats()
+
+    def __enter__(self) -> "IOPhase":
+        self._before = self.disk.stats()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._before is not None
+        self.stats = self.disk.stats() - self._before
+
+    @property
+    def ms(self) -> float:
+        return self.stats.total_ms
+
+    @property
+    def seconds(self) -> float:
+        return self.stats.total_s

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so a
+caller can catch every library failure with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class GeometryError(ReproError):
+    """An operation received geometrically invalid input
+    (e.g. a rectangle with ``xmin > xmax`` or a polyline with one vertex)."""
+
+
+class DiskError(ReproError):
+    """The disk model was asked for an impossible operation
+    (e.g. reading an extent that was never allocated)."""
+
+
+class AllocationError(DiskError):
+    """The page or buddy allocator could not satisfy a request."""
+
+
+class StorageError(ReproError):
+    """An organization model was used inconsistently
+    (e.g. querying an object identifier that was never inserted)."""
+
+
+class ObjectTooLargeError(StorageError):
+    """An object exceeds the maximum size the organization can store
+    (for the cluster organization: objects larger than ``Smax``)."""
+
+
+class TreeError(ReproError):
+    """An internal R*-tree invariant was violated; indicates a bug or a
+    corrupted tree rather than bad user input."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment or database configuration parameters."""

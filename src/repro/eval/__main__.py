@@ -1,0 +1,116 @@
+"""Run the full evaluation from the command line.
+
+::
+
+    python -m repro.eval [--scale 0.08] [--only fig8,fig12,...]
+
+Regenerates every table and figure of the paper in sequence and prints
+the report tables.  Individual experiments can be selected with
+``--only`` (names: table1, fig5, fig6, fig7, fig8, fig10, fig11,
+fig12, fig14, fig16, fig17).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.adaptation import format_fig11, run_fig11_adaptation
+from repro.eval.config import ExperimentConfig
+from repro.eval.construction import (
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    run_fig5_construction,
+    run_fig6_storage,
+    run_fig7_buddy,
+)
+from repro.eval.context import ExperimentContext
+from repro.eval.joins import (
+    format_fig14,
+    format_fig16,
+    format_fig17,
+    run_fig14_join_orgs,
+    run_fig16_join_techniques,
+    run_fig17_complete_join,
+)
+from repro.eval.point import format_fig12, run_fig12_points
+from repro.eval.report import format_header
+from repro.eval.table1 import format_table1, run_table1
+from repro.eval.window import (
+    format_fig8,
+    format_fig10,
+    run_fig8_windows,
+    run_fig10_techniques,
+)
+
+EXPERIMENTS = {
+    "table1": lambda ctx: format_table1(run_table1(ctx), ctx.config.scale),
+    "fig5": lambda ctx: format_fig5(run_fig5_construction(ctx)),
+    "fig6": lambda ctx: format_fig6(run_fig6_storage(ctx)),
+    "fig7": lambda ctx: format_fig7(run_fig7_buddy(ctx)),
+    "fig8": lambda ctx: format_fig8(run_fig8_windows(ctx)),
+    "fig10": lambda ctx: format_fig10(run_fig10_techniques(ctx)),
+    "fig11": lambda ctx: format_fig11(run_fig11_adaptation(ctx)),
+    "fig12": lambda ctx: format_fig12(run_fig12_points(ctx)),
+    "fig14": lambda ctx: format_fig14(run_fig14_join_orgs(ctx)),
+    "fig16": lambda ctx: format_fig16(run_fig16_join_techniques(ctx)),
+    "fig17": lambda ctx: format_fig17(run_fig17_complete_join(ctx)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale in (0, 1] (default: REPRO_SCALE or 0.08)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1994, help="dataset seed (default 1994)"
+    )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default=None,
+        help="comma-separated experiment names "
+        f"(valid: {', '.join(EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    else:
+        config = ExperimentConfig(seed=args.seed)
+    ctx = ExperimentContext(config)
+
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiments: {unknown}")
+    else:
+        names = list(EXPERIMENTS)
+
+    print(
+        format_header(
+            "Brinkhoff & Kriegel, VLDB 1994 — reproduction "
+            f"(scale={config.scale}, seed={config.seed})"
+        )
+    )
+    for name in names:
+        start = time.time()
+        table = EXPERIMENTS[name](ctx)
+        print()
+        print(table)
+        print(f"[{name}: {time.time() - start:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

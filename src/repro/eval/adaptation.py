@@ -1,0 +1,127 @@
+"""Cluster-size adaptation (Figure 11, after Dröge & Schek [DS93]).
+
+Should the cluster size adapt to the query size?  The experiment:
+
+1. for each window area, sweep the cluster size (``Smax``) and find the
+   best-performing size ``s1``;
+2. change the window area by a factor 10 / 100 and find the best size
+   ``s2`` for the *changed* area;
+3. the *adaptation gain* is how much cost using ``s1`` (the size tuned
+   for the old queries) loses against ``s2`` — i.e. what an adaptive
+   scheme could recover.
+
+Expected shape (B-1): with the ``complete`` technique the gain reaches
+~23 % for a factor-100 change; with the threshold or SLM technique the
+gain shrinks to ~6–11 %, so adaptation "does not seem to be essential".
+The exceptional ``0.001 % → 0.1 %`` transition (small best size, much
+bigger queries later) is reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.organization import ClusterOrganization
+from repro.eval.context import ExperimentContext
+from repro.eval.metrics import run_window_queries
+from repro.eval.report import format_table
+
+__all__ = ["AdaptationResult", "run_fig11_adaptation", "format_fig11"]
+
+_SWEEP_PAGES = (5, 10, 20, 40, 80, 160)
+_BASE_AREAS = (1e-5, 1e-4, 1e-3, 1e-2)
+_TECHNIQUES = ("complete", "threshold", "slm")
+
+
+@dataclass(slots=True)
+class AdaptationResult:
+    technique: str
+    gain_factor_10: float  # average % cost reduction from adapting
+    gain_factor_100: float
+    gain_small_to_large: float  # the 0.001% -> 0.1% transition
+
+
+def _cost(
+    ctx: ExperimentContext,
+    series: str,
+    smax_pages: int,
+    technique: str,
+    area: float,
+) -> float:
+    """Aggregated window cost of one (cluster size, technique, area)."""
+    org = ctx.org("cluster", series, smax_bytes=smax_pages * 4096)
+    assert isinstance(org, ClusterOrganization)
+    original = org.technique
+    try:
+        org.technique = technique
+        agg = run_window_queries(org, ctx.windows(series, area))
+        return agg.ms_per_4kb
+    finally:
+        org.technique = original
+
+
+def run_fig11_adaptation(
+    ctx: ExperimentContext,
+    series: str = "B-1",
+    sweep_pages: tuple[int, ...] = _SWEEP_PAGES,
+    base_areas: tuple[float, ...] = _BASE_AREAS,
+    techniques: tuple[str, ...] = _TECHNIQUES,
+) -> list[AdaptationResult]:
+    results: list[AdaptationResult] = []
+    for technique in techniques:
+        # cost[area][pages]
+        cost: dict[float, dict[int, float]] = {}
+        areas_needed = set()
+        for area in base_areas:
+            for factor in (1.0, 10.0, 100.0):
+                target = area * factor
+                if target <= 0.1:
+                    areas_needed.add(target)
+        for area in sorted(areas_needed):
+            cost[area] = {
+                pages: _cost(ctx, series, pages, technique, area)
+                for pages in sweep_pages
+            }
+
+        def best_size(area: float) -> int:
+            return min(cost[area], key=lambda pages: cost[area][pages])
+
+        def gain(base_area: float, factor: float) -> float | None:
+            """Percent saved by re-tuning the cluster size after the
+            window area changed by ``factor``."""
+            target = base_area * factor
+            if target not in cost or base_area not in cost:
+                return None
+            s1 = best_size(base_area)
+            s2 = best_size(target)
+            c1 = cost[target][s1]  # stuck with the old size
+            c2 = cost[target][s2]  # adapted size
+            if c1 <= 0:
+                return 0.0
+            return (c1 - c2) / c1 * 100.0
+
+        gains_10 = [g for a in base_areas if (g := gain(a, 10.0)) is not None]
+        gains_100 = [g for a in base_areas if (g := gain(a, 100.0)) is not None]
+        special = gain(1e-5, 100.0)  # the 0.001% -> 0.1% transition
+        results.append(
+            AdaptationResult(
+                technique=technique,
+                gain_factor_10=sum(gains_10) / len(gains_10) if gains_10 else 0.0,
+                gain_factor_100=sum(gains_100) / len(gains_100) if gains_100 else 0.0,
+                gain_small_to_large=special if special is not None else 0.0,
+            )
+        )
+    return results
+
+
+def format_fig11(results: list[AdaptationResult]) -> str:
+    return format_table(
+        ["technique", "gain factor 10 (%)", "gain factor 100 (%)",
+         "gain 0.001%->0.1% (%)"],
+        [
+            (r.technique, r.gain_factor_10, r.gain_factor_100,
+             r.gain_small_to_large)
+            for r in results
+        ],
+        title="Figure 11 — performance gains from adapting the cluster size (B-1)",
+    )

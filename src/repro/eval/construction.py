@@ -1,0 +1,152 @@
+"""Construction cost and storage utilization (Figures 5, 6 and 7).
+
+* **Figure 5** — I/O cost of building each organization model over all
+  six test series with unsorted input.  Expected shape: the cluster
+  organization is cheapest (no leaf reinserts, and the cluster split
+  copies objects with single large requests); the primary organization
+  is most expensive and grows strongly with the object size.
+* **Figure 6** — storage utilization measured in occupied pages: the
+  secondary organization's byte-packed file is best; the plain cluster
+  organization is worst (every unit binds a full ``Smax`` extent).
+* **Figure 7** — the restricted buddy system (3 buddy sizes) brings the
+  cluster organization's utilization to roughly the primary
+  organization's level at only slightly higher construction cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.context import ORG_NAMES, ExperimentContext
+from repro.eval.report import format_table
+
+__all__ = [
+    "ConstructionRow",
+    "run_fig5_construction",
+    "format_fig5",
+    "StorageRow",
+    "run_fig6_storage",
+    "format_fig6",
+    "BuddyRow",
+    "run_fig7_buddy",
+    "format_fig7",
+]
+
+_ALL_SERIES = ("A-1", "B-1", "C-1", "A-2", "B-2", "C-2")
+_MAP1_SERIES = ("A-1", "B-1", "C-1")
+
+
+@dataclass(slots=True)
+class ConstructionRow:
+    series: str
+    secondary_s: float
+    primary_s: float
+    cluster_s: float
+
+
+def run_fig5_construction(
+    ctx: ExperimentContext, series: tuple[str, ...] = _ALL_SERIES
+) -> list[ConstructionRow]:
+    rows: list[ConstructionRow] = []
+    for key in series:
+        costs = {
+            name: ctx.org(name, key).construction_io.total_s
+            for name in ORG_NAMES
+        }
+        rows.append(
+            ConstructionRow(
+                key, costs["secondary"], costs["primary"], costs["cluster"]
+            )
+        )
+    return rows
+
+
+def format_fig5(rows: list[ConstructionRow]) -> str:
+    return format_table(
+        ["series", "sec. org (s)", "prim. org (s)", "cluster org (s)"],
+        [(r.series, r.secondary_s, r.primary_s, r.cluster_s) for r in rows],
+        title="Figure 5 — I/O cost for constructing the organization models",
+    )
+
+
+@dataclass(slots=True)
+class StorageRow:
+    series: str
+    secondary_pages: int
+    primary_pages: int
+    cluster_pages: int
+
+
+def run_fig6_storage(
+    ctx: ExperimentContext, series: tuple[str, ...] = _ALL_SERIES
+) -> list[StorageRow]:
+    rows: list[StorageRow] = []
+    for key in series:
+        pages = {
+            name: ctx.org(name, key).occupied_pages() for name in ORG_NAMES
+        }
+        rows.append(
+            StorageRow(
+                key, pages["secondary"], pages["primary"], pages["cluster"]
+            )
+        )
+    return rows
+
+
+def format_fig6(rows: list[StorageRow]) -> str:
+    return format_table(
+        ["series", "sec. org (pages)", "prim. org (pages)", "cluster org (pages)"],
+        [
+            (r.series, r.secondary_pages, r.primary_pages, r.cluster_pages)
+            for r in rows
+        ],
+        title="Figure 6 — storage utilization (occupied pages)",
+    )
+
+
+@dataclass(slots=True)
+class BuddyRow:
+    series: str
+    fixed_pages: int
+    buddy_pages: int
+    primary_pages: int
+    fixed_construction_s: float
+    buddy_construction_s: float
+    buddy_moves: int
+
+
+def run_fig7_buddy(
+    ctx: ExperimentContext, series: tuple[str, ...] = _MAP1_SERIES
+) -> list[BuddyRow]:
+    """Cluster organization with the restricted buddy system (3 sizes:
+    ``Smax``, ``Smax/2``, ``Smax/4``) against the fixed-unit variant."""
+    rows: list[BuddyRow] = []
+    for key in series:
+        fixed = ctx.org("cluster", key)
+        buddy = ctx.org("cluster", key, buddy_sizes=3)
+        primary = ctx.org("primary", key)
+        rows.append(
+            BuddyRow(
+                series=key,
+                fixed_pages=fixed.occupied_pages(),
+                buddy_pages=buddy.occupied_pages(),
+                primary_pages=primary.occupied_pages(),
+                fixed_construction_s=fixed.construction_io.total_s,
+                buddy_construction_s=buddy.construction_io.total_s,
+                buddy_moves=getattr(buddy, "unit_moves", 0),
+            )
+        )
+    return rows
+
+
+def format_fig7(rows: list[BuddyRow]) -> str:
+    return format_table(
+        ["series", "fixed (pages)", "buddy (pages)", "primary (pages)",
+         "fixed constr (s)", "buddy constr (s)", "moves"],
+        [
+            (r.series, r.fixed_pages, r.buddy_pages, r.primary_pages,
+             r.fixed_construction_s, r.buddy_construction_s, r.buddy_moves)
+            for r in rows
+        ],
+        title="Figure 7 — restricted buddy system: utilization and construction cost",
+    )

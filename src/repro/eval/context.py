@@ -1,0 +1,205 @@
+"""Shared experiment state: generated maps, built organizations, joins.
+
+Building an organization over a map is by far the most expensive step
+of the harness, and several figures reuse the same builds (Figures 5
+and 6 report construction cost and utilization of the *same* trees;
+Figures 8, 10 and 12 query them).  The context memoises everything by
+configuration key, so a full benchmark run builds each organization at
+most once.
+"""
+
+from __future__ import annotations
+
+from repro.core.organization import ClusterOrganization
+from repro.core.policy import ClusterPolicy
+from repro.data.calibrate import (
+    PAIRS_PER_OBJECT_VERSION_B,
+    calibrate_expansion,
+)
+from repro.data.tiger import generate_map
+from repro.data.workload import point_workload, window_workload
+from repro.disk.allocator import PageAllocator
+from repro.disk.model import DiskModel
+from repro.errors import ConfigurationError
+from repro.eval.config import ExperimentConfig
+from repro.geometry.feature import SpatialObject
+from repro.geometry.rect import Rect
+from repro.storage.base import SpatialOrganization
+from repro.storage.primary import PrimaryOrganization
+from repro.storage.secondary import SecondaryOrganization
+
+__all__ = ["ExperimentContext", "ORG_NAMES"]
+
+ORG_NAMES = ("secondary", "primary", "cluster")
+
+_ORG_CLASSES = {
+    "secondary": SecondaryOrganization,
+    "primary": PrimaryOrganization,
+    "cluster": ClusterOrganization,
+}
+
+
+class ExperimentContext:
+    """Memoising factory for maps, workloads and built organizations."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig()
+        self._maps: dict[tuple, list[SpatialObject]] = {}
+        self._orgs: dict[tuple, SpatialOrganization] = {}
+        self._join_pairs: dict[tuple, tuple[SpatialOrganization, SpatialOrganization]] = {}
+        self._windows: dict[tuple, list[Rect]] = {}
+        self._expansions: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+    def objects(self, series_key: str, mbr_expansion: float | None = None) -> list[SpatialObject]:
+        """The (scaled) synthetic map of one Table 1 series.
+
+        Expanded-MBR variants (join version *b*) share the natural map's
+        geometry — only the spatial keys differ, exactly as Section 6.1
+        derives its versions "by using MBRs with different extensions".
+        """
+        cache_key = (series_key, mbr_expansion)
+        cached = self._maps.get(cache_key)
+        if cached is None:
+            if mbr_expansion is not None:
+                base = self.objects(series_key)
+                cached = [
+                    SpatialObject(
+                        o.oid,
+                        o.geometry,
+                        size_bytes=o.size_bytes,
+                        mbr_override=o.geometry.mbr.expanded(mbr_expansion),
+                    )
+                    for o in base
+                ]
+            else:
+                spec = self.config.spec(series_key)
+                # Map 2 ids continue after map 1 so joined relations
+                # never share object identifiers.
+                id_offset = 0 if spec.map_id == 1 else 10_000_000
+                cached = generate_map(
+                    spec, seed=self.config.seed, id_offset=id_offset
+                )
+            self._maps[cache_key] = cached
+        return cached
+
+    def version_expansion(self, series_r: str, series_s: str, version: str) -> float | None:
+        """MBR expansion for a join version: *a* uses natural MBRs,
+        *b* is calibrated to ~9 intersections per MBR (Section 6.1)."""
+        if version == "a":
+            return None
+        if version != "b":
+            raise ConfigurationError(f"join version must be 'a' or 'b', got {version!r}")
+        key = (series_r, series_s)
+        factor = self._expansions.get(key)
+        if factor is None:
+            factor = calibrate_expansion(
+                self.objects(series_r),
+                self.objects(series_s),
+                PAIRS_PER_OBJECT_VERSION_B,
+            )
+            self._expansions[key] = factor
+        return factor
+
+    # ------------------------------------------------------------------
+    # workloads
+    # ------------------------------------------------------------------
+    def windows(self, series_key: str, area_fraction: float) -> list[Rect]:
+        key = (series_key, area_fraction)
+        cached = self._windows.get(key)
+        if cached is None:
+            cached = window_workload(
+                self.objects(series_key),
+                area_fraction,
+                n_queries=self.config.n_queries,
+                seed=self.config.seed + 17,
+            )
+            self._windows[key] = cached
+        return cached
+
+    def points(self, series_key: str, area_fraction: float = 1e-4) -> list[tuple[float, float]]:
+        return point_workload(self.windows(series_key, area_fraction))
+
+    # ------------------------------------------------------------------
+    # organizations
+    # ------------------------------------------------------------------
+    def _make_org(
+        self,
+        org_name: str,
+        series_key: str,
+        disk: DiskModel,
+        allocator: PageAllocator,
+        region_prefix: str,
+        buddy_sizes: int | None,
+        smax_bytes: int | None,
+    ) -> SpatialOrganization:
+        spec = self.config.spec(series_key)
+        cls = _ORG_CLASSES.get(org_name)
+        if cls is None:
+            raise ConfigurationError(
+                f"unknown organization '{org_name}'; valid: {ORG_NAMES}"
+            )
+        kwargs = dict(
+            disk=disk,
+            allocator=allocator,
+            region_prefix=region_prefix,
+            construction_buffer_pages=self.config.construction_buffer_pages,
+        )
+        if cls is ClusterOrganization:
+            kwargs["policy"] = ClusterPolicy(
+                smax_bytes or spec.smax_bytes, buddy_sizes=buddy_sizes
+            )
+        return cls(**kwargs)
+
+    def org(
+        self,
+        org_name: str,
+        series_key: str,
+        buddy_sizes: int | None = None,
+        smax_bytes: int | None = None,
+    ) -> SpatialOrganization:
+        """A built (memoised) organization over one series' map."""
+        key = (org_name, series_key, buddy_sizes, smax_bytes)
+        cached = self._orgs.get(key)
+        if cached is None:
+            cached = self._make_org(
+                org_name,
+                series_key,
+                DiskModel(),
+                PageAllocator(),
+                f"{org_name}.{series_key}",
+                buddy_sizes,
+                smax_bytes,
+            )
+            cached.build(self.objects(series_key))
+            self._orgs[key] = cached
+        return cached
+
+    def join_pair(
+        self,
+        org_name: str,
+        series_r: str,
+        series_s: str,
+        version: str = "a",
+    ) -> tuple[SpatialOrganization, SpatialOrganization]:
+        """Two built organizations sharing one disk — the join setup of
+        Section 6.1 (memoised per organization and version)."""
+        key = (org_name, series_r, series_s, version)
+        cached = self._join_pairs.get(key)
+        if cached is None:
+            expansion = self.version_expansion(series_r, series_s, version)
+            disk = DiskModel()
+            allocator = PageAllocator()
+            org_r = self._make_org(
+                org_name, series_r, disk, allocator, f"r.{org_name}", None, None
+            )
+            org_s = self._make_org(
+                org_name, series_s, disk, allocator, f"s.{org_name}", None, None
+            )
+            org_r.build(self.objects(series_r, expansion))
+            org_s.build(self.objects(series_s, expansion))
+            cached = (org_r, org_s)
+            self._join_pairs[key] = cached
+        return cached

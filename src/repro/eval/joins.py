@@ -1,0 +1,206 @@
+"""Spatial-join experiments (Figures 14, 16 and 17).
+
+* **Figure 14** — organization models joined over C-1 ⋈ C-2, versions
+  *a* (≈0.65 intersections per MBR) and *b* (≈9), for buffer sizes
+  from 200 to 6400 pages.  Expected shape: the cluster organization
+  wins clearly (paper: up to 4.9×/4.6× for *a*, 9.5×/6.2× for *b*).
+* **Figure 16** — the cluster organization's transfer techniques
+  (complete / vector read / read / optimum).  Expected shape: the SLM
+  ``read`` beats ``vector``; ``complete`` wins except for small
+  buffers; from ~1600 pages everything approaches the optimum.
+* **Figure 17** — the complete three-step intersection join (MBR join,
+  object transfer, exact geometry test at 0.75 ms per candidate pair):
+  global clustering slashes the transfer share; total speed-up ≈4×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.context import ORG_NAMES, ExperimentContext
+from repro.eval.report import format_table
+from repro.join.multistep import JoinResult, spatial_join
+
+__all__ = [
+    "JoinOrgRow",
+    "run_fig14_join_orgs",
+    "format_fig14",
+    "JoinTechniqueRow",
+    "run_fig16_join_techniques",
+    "format_fig16",
+    "CompleteJoinRow",
+    "run_fig17_complete_join",
+    "format_fig17",
+]
+
+FIG16_TECHNIQUES = ("complete", "vector", "read", "optimum")
+
+
+@dataclass(slots=True)
+class JoinOrgRow:
+    version: str
+    buffer_pages: int
+    per_org: dict[str, JoinResult]
+
+    @property
+    def speedup_vs_secondary(self) -> float:
+        clu = self.per_org["cluster"].io_ms
+        return self.per_org["secondary"].io_ms / clu if clu > 0 else float("inf")
+
+    @property
+    def speedup_vs_primary(self) -> float:
+        clu = self.per_org["cluster"].io_ms
+        return self.per_org["primary"].io_ms / clu if clu > 0 else float("inf")
+
+
+def run_fig14_join_orgs(
+    ctx: ExperimentContext,
+    series_r: str = "C-1",
+    series_s: str = "C-2",
+    versions: tuple[str, ...] = ("a", "b"),
+    buffers: list[int] | None = None,
+) -> list[JoinOrgRow]:
+    buffers = buffers if buffers is not None else ctx.config.join_buffers
+    rows: list[JoinOrgRow] = []
+    for version in versions:
+        for buffer_pages in buffers:
+            per_org: dict[str, JoinResult] = {}
+            for name in ORG_NAMES:
+                org_r, org_s = ctx.join_pair(name, series_r, series_s, version)
+                per_org[name] = spatial_join(org_r, org_s, buffer_pages)
+            rows.append(JoinOrgRow(version, buffer_pages, per_org))
+    return rows
+
+
+def format_fig14(rows: list[JoinOrgRow]) -> str:
+    return format_table(
+        ["version", "buffer", "sec (s)", "prim (s)", "cluster (s)",
+         "speedup vs sec", "speedup vs prim", "MBR pairs"],
+        [
+            (
+                r.version,
+                r.buffer_pages,
+                r.per_org["secondary"].io_s,
+                r.per_org["primary"].io_s,
+                r.per_org["cluster"].io_s,
+                r.speedup_vs_secondary,
+                r.speedup_vs_primary,
+                r.per_org["cluster"].candidate_pairs,
+            )
+            for r in rows
+        ],
+        title="Figure 14 — spatial join I/O across organization models",
+    )
+
+
+@dataclass(slots=True)
+class JoinTechniqueRow:
+    version: str
+    buffer_pages: int
+    per_technique: dict[str, JoinResult]
+
+
+def run_fig16_join_techniques(
+    ctx: ExperimentContext,
+    series_r: str = "C-1",
+    series_s: str = "C-2",
+    versions: tuple[str, ...] = ("a", "b"),
+    buffers: list[int] | None = None,
+    techniques: tuple[str, ...] = FIG16_TECHNIQUES,
+) -> list[JoinTechniqueRow]:
+    # The complete/read/vector trade-off hinges on the buffer-to-unit
+    # ratio, and cluster units keep their paper size (Smax pages) at any
+    # data scale — so this figure uses the paper's *absolute* buffer
+    # sizes, unlike Figure 14 whose buffers scale with the data.
+    from repro.eval.config import PAPER_JOIN_BUFFERS
+
+    buffers = buffers if buffers is not None else list(PAPER_JOIN_BUFFERS)
+    rows: list[JoinTechniqueRow] = []
+    for version in versions:
+        org_r, org_s = ctx.join_pair("cluster", series_r, series_s, version)
+        for buffer_pages in buffers:
+            per_technique = {
+                technique: spatial_join(
+                    org_r, org_s, buffer_pages, technique=technique
+                )
+                for technique in techniques
+            }
+            rows.append(JoinTechniqueRow(version, buffer_pages, per_technique))
+    return rows
+
+
+def format_fig16(rows: list[JoinTechniqueRow]) -> str:
+    techniques = list(rows[0].per_technique) if rows else []
+    return format_table(
+        ["version", "buffer"] + [f"{t} (s)" for t in techniques],
+        [
+            [r.version, r.buffer_pages]
+            + [r.per_technique[t].io_s for t in techniques]
+            for r in rows
+        ],
+        title="Figure 16 — join transfer techniques (cluster org)",
+    )
+
+
+@dataclass(slots=True)
+class CompleteJoinRow:
+    version: str
+    organization: str
+    mbr_join_s: float
+    transfer_s: float
+    exact_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.mbr_join_s + self.transfer_s + self.exact_s
+
+
+def run_fig17_complete_join(
+    ctx: ExperimentContext,
+    series_r: str = "C-1",
+    series_s: str = "C-2",
+    versions: tuple[str, ...] = ("a", "b"),
+    buffer_pages: int = 1600,
+) -> list[CompleteJoinRow]:
+    # Absolute paper buffer (see run_fig16_join_techniques on why).
+    rows: list[CompleteJoinRow] = []
+    for version in versions:
+        for name in ("secondary", "cluster"):
+            org_r, org_s = ctx.join_pair(name, series_r, series_s, version)
+            result = spatial_join(org_r, org_s, buffer_pages)
+            rows.append(
+                CompleteJoinRow(
+                    version=version,
+                    organization=name,
+                    mbr_join_s=result.mbr_io.total_s,
+                    transfer_s=result.transfer_io.total_s,
+                    exact_s=result.exact_ms / 1000.0,
+                )
+            )
+    return rows
+
+
+def format_fig17(rows: list[CompleteJoinRow]) -> str:
+    lines = [
+        format_table(
+            ["version", "organization", "MBR-join (s)", "obj transfer (s)",
+             "exact test (s)", "total (s)"],
+            [
+                (r.version, r.organization, r.mbr_join_s, r.transfer_s,
+                 r.exact_s, r.total_s)
+                for r in rows
+            ],
+            title="Figure 17 — complete intersection join cost breakdown",
+        )
+    ]
+    by_version: dict[str, dict[str, CompleteJoinRow]] = {}
+    for row in rows:
+        by_version.setdefault(row.version, {})[row.organization] = row
+    for version, orgs in by_version.items():
+        if "secondary" in orgs and "cluster" in orgs:
+            speedup = orgs["secondary"].total_s / orgs["cluster"].total_s
+            lines.append(
+                f"version {version}: complete-join speedup "
+                f"{speedup:.1f}x (paper: 3.9x for a, 4.3x for b)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Point-query experiment (Figure 12).
+
+678 point queries at the centers of the Section 5.4 windows, against
+all three organization models on the map-1 series.  Expected shape:
+secondary and cluster organization are nearly identical; the primary
+organization is best for the smallest objects (A-1: the object comes
+for free with its data page) and worst for the largest (C-1: objects
+that do not fit a data page cost an extra access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.context import ORG_NAMES, ExperimentContext
+from repro.eval.metrics import WorkloadAggregate, run_point_queries
+from repro.eval.report import format_table
+
+__all__ = ["PointRow", "run_fig12_points", "format_fig12"]
+
+
+@dataclass(slots=True)
+class PointRow:
+    series: str
+    per_org: dict[str, WorkloadAggregate]
+
+    @property
+    def cluster_vs_secondary(self) -> float:
+        """Ratio of the cluster to the secondary organization's cost —
+        the paper reports "almost no difference", i.e. ~1.0."""
+        sec = self.per_org["secondary"].ms_per_4kb
+        clu = self.per_org["cluster"].ms_per_4kb
+        return clu / sec if sec > 0 else float("inf")
+
+
+def run_fig12_points(
+    ctx: ExperimentContext,
+    series: tuple[str, ...] = ("A-1", "B-1", "C-1"),
+) -> list[PointRow]:
+    rows: list[PointRow] = []
+    for key in series:
+        points = ctx.points(key)
+        per_org = {
+            name: run_point_queries(ctx.org(name, key), points)
+            for name in ORG_NAMES
+        }
+        rows.append(PointRow(key, per_org))
+    return rows
+
+
+def format_fig12(rows: list[PointRow]) -> str:
+    return format_table(
+        ["series", "sec (ms/4KB)", "prim (ms/4KB)", "cluster (ms/4KB)",
+         "cluster/sec"],
+        [
+            (
+                r.series,
+                r.per_org["secondary"].ms_per_4kb,
+                r.per_org["primary"].ms_per_4kb,
+                r.per_org["cluster"].ms_per_4kb,
+                r.cluster_vs_secondary,
+            )
+            for r in rows
+        ],
+        title="Figure 12 — point queries across organization models",
+    )

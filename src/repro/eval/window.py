@@ -1,0 +1,134 @@
+"""Window-query experiments (Figures 8 and 10).
+
+* **Figure 8** — the three organization models over window areas from
+  0.001 % to 10 % of the data space, on the smallest-object (A-1) and
+  largest-object (C-1) series.  Expected shape: the larger the window,
+  the stronger the cluster organization wins (speed-ups up to 20 for
+  A-1); the primary organization lands between the two and profits most
+  on small objects.
+* **Figure 10** — the query techniques (complete / threshold / SLM /
+  optimum) within the cluster organization.  Expected shape: visible
+  savings only for the most selective queries on large cluster units
+  (C-1), where SLM approaches the optimum; no difference from 0.1 %
+  upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.organization import ClusterOrganization
+from repro.data.workload import PAPER_WINDOW_AREAS
+from repro.eval.context import ORG_NAMES, ExperimentContext
+from repro.eval.metrics import WorkloadAggregate, run_window_queries
+from repro.eval.report import format_table
+
+__all__ = [
+    "WindowRow",
+    "run_fig8_windows",
+    "format_fig8",
+    "TechniqueRow",
+    "run_fig10_techniques",
+    "format_fig10",
+]
+
+FIG10_TECHNIQUES = ("complete", "threshold", "slm", "optimum")
+
+
+@dataclass(slots=True)
+class WindowRow:
+    series: str
+    area_fraction: float
+    per_org: dict[str, WorkloadAggregate]
+
+    @property
+    def speedup_vs_secondary(self) -> float:
+        sec = self.per_org["secondary"].ms_per_4kb
+        clu = self.per_org["cluster"].ms_per_4kb
+        return sec / clu if clu > 0 else float("inf")
+
+
+def run_fig8_windows(
+    ctx: ExperimentContext,
+    series: tuple[str, ...] = ("A-1", "C-1"),
+    areas: tuple[float, ...] = PAPER_WINDOW_AREAS,
+) -> list[WindowRow]:
+    rows: list[WindowRow] = []
+    for key in series:
+        for area in areas:
+            windows = ctx.windows(key, area)
+            per_org = {
+                name: run_window_queries(ctx.org(name, key), windows)
+                for name in ORG_NAMES
+            }
+            rows.append(WindowRow(key, area, per_org))
+    return rows
+
+
+def format_fig8(rows: list[WindowRow]) -> str:
+    return format_table(
+        ["series", "window area", "sec (ms/4KB)", "prim (ms/4KB)",
+         "cluster (ms/4KB)", "speedup vs sec", "answers/query"],
+        [
+            (
+                r.series,
+                f"{r.area_fraction * 100:g}%",
+                r.per_org["secondary"].ms_per_4kb,
+                r.per_org["primary"].ms_per_4kb,
+                r.per_org["cluster"].ms_per_4kb,
+                r.speedup_vs_secondary,
+                r.per_org["cluster"].answers_per_query,
+            )
+            for r in rows
+        ],
+        title="Figure 8 — window queries across organization models",
+    )
+
+
+@dataclass(slots=True)
+class TechniqueRow:
+    series: str
+    area_fraction: float
+    per_technique: dict[str, WorkloadAggregate]
+
+
+def run_fig10_techniques(
+    ctx: ExperimentContext,
+    series: tuple[str, ...] = ("A-1", "C-1"),
+    areas: tuple[float, ...] = PAPER_WINDOW_AREAS,
+    techniques: tuple[str, ...] = FIG10_TECHNIQUES,
+) -> list[TechniqueRow]:
+    """The cluster organization under different read techniques.
+
+    The technique only affects how units are transferred, so one built
+    organization is re-queried with the attribute switched.
+    """
+    rows: list[TechniqueRow] = []
+    for key in series:
+        org = ctx.org("cluster", key)
+        assert isinstance(org, ClusterOrganization)
+        original = org.technique
+        try:
+            for area in areas:
+                windows = ctx.windows(key, area)
+                per_technique: dict[str, WorkloadAggregate] = {}
+                for technique in techniques:
+                    org.technique = technique
+                    per_technique[technique] = run_window_queries(org, windows)
+                rows.append(TechniqueRow(key, area, per_technique))
+        finally:
+            org.technique = original
+    return rows
+
+
+def format_fig10(rows: list[TechniqueRow]) -> str:
+    techniques = list(rows[0].per_technique) if rows else []
+    return format_table(
+        ["series", "window area"] + [f"{t} (ms/4KB)" for t in techniques],
+        [
+            [r.series, f"{r.area_fraction * 100:g}%"]
+            + [r.per_technique[t].ms_per_4kb for t in techniques]
+            for r in rows
+        ],
+        title="Figure 10 — query techniques for window queries (cluster org)",
+    )

@@ -1,0 +1,163 @@
+"""Exact geometric predicates on segments, polylines and polygons.
+
+These routines implement the *refinement* step of spatial query
+processing (Section 4.2.2 of the paper): after the R*-tree filter has
+produced candidate objects via their MBRs, the exact representation is
+tested against the query condition.  All predicates are closed-set
+predicates ("sharing points" counts as intersecting), matching the
+window-query definition of Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "orientation",
+    "on_segment",
+    "segments_intersect",
+    "segment_intersects_rect",
+    "point_in_polygon",
+    "polyline_intersects_rect",
+    "polylines_intersect",
+]
+
+_EPS = 1e-12
+
+
+def orientation(
+    ax: float, ay: float, bx: float, by: float, cx: float, cy: float
+) -> int:
+    """Orientation of the ordered triple (a, b, c).
+
+    Returns ``1`` for counter-clockwise, ``-1`` for clockwise and ``0``
+    for (numerically) collinear points.
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def on_segment(
+    ax: float, ay: float, bx: float, by: float, px: float, py: float
+) -> bool:
+    """True if point p lies on the closed segment a-b, assuming the three
+    points are collinear."""
+    return (
+        min(ax, bx) - _EPS <= px <= max(ax, bx) + _EPS
+        and min(ay, by) - _EPS <= py <= max(ay, by) + _EPS
+    )
+
+
+def segments_intersect(
+    a: tuple[float, float],
+    b: tuple[float, float],
+    c: tuple[float, float],
+    d: tuple[float, float],
+) -> bool:
+    """True if the closed segments a-b and c-d share at least one point."""
+    o1 = orientation(*a, *b, *c)
+    o2 = orientation(*a, *b, *d)
+    o3 = orientation(*c, *d, *a)
+    o4 = orientation(*c, *d, *b)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(*a, *b, *c):
+        return True
+    if o2 == 0 and on_segment(*a, *b, *d):
+        return True
+    if o3 == 0 and on_segment(*c, *d, *a):
+        return True
+    if o4 == 0 and on_segment(*c, *d, *b):
+        return True
+    return False
+
+
+def segment_intersects_rect(
+    a: tuple[float, float], b: tuple[float, float], rect: Rect
+) -> bool:
+    """True if the closed segment a-b shares a point with the rectangle.
+
+    Uses the Cohen-Sutherland style trivial accept/reject before falling
+    back to the four edge tests.
+    """
+    if rect.contains_point(*a) or rect.contains_point(*b):
+        return True
+    seg_mbr = Rect(
+        min(a[0], b[0]), min(a[1], b[1]), max(a[0], b[0]), max(a[1], b[1])
+    )
+    if not rect.intersects(seg_mbr):
+        return False
+    corners = list(rect.corners())
+    for i in range(4):
+        if segments_intersect(a, b, corners[i], corners[(i + 1) % 4]):
+            return True
+    return False
+
+
+def point_in_polygon(
+    x: float, y: float, vertices: Sequence[tuple[float, float]]
+) -> bool:
+    """Closed point-in-polygon test (ray casting with boundary handling).
+
+    ``vertices`` is the polygon ring; a closing edge from the last vertex
+    back to the first is implied.  Points on the boundary are inside.
+    """
+    n = len(vertices)
+    if n < 3:
+        return False
+    inside = False
+    for i in range(n):
+        ax, ay = vertices[i]
+        bx, by = vertices[(i + 1) % n]
+        # Boundary check: the point lies on the edge a-b.
+        if orientation(ax, ay, bx, by, x, y) == 0 and on_segment(
+            ax, ay, bx, by, x, y
+        ):
+            return True
+        # Ray casting: count crossings of the upward ray.
+        if (ay > y) != (by > y):
+            x_cross = ax + (y - ay) * (bx - ax) / (by - ay)
+            if x < x_cross:
+                inside = not inside
+    return inside
+
+
+def polyline_intersects_rect(
+    vertices: Sequence[tuple[float, float]], rect: Rect
+) -> bool:
+    """True if any segment of the open polyline shares a point with the
+    rectangle; a single-vertex "polyline" degenerates to a point test."""
+    if len(vertices) == 1:
+        return rect.contains_point(*vertices[0])
+    for i in range(len(vertices) - 1):
+        if segment_intersects_rect(vertices[i], vertices[i + 1], rect):
+            return True
+    return False
+
+
+def polylines_intersect(
+    a: Sequence[tuple[float, float]], b: Sequence[tuple[float, float]]
+) -> bool:
+    """True if two open polylines share at least one point.
+
+    This is the exact-geometry predicate of the intersection join for
+    line-shaped TIGER objects (streets vs. rivers/rails).  The naive
+    all-pairs segment test is quadratic; callers that need speed should
+    pre-filter with MBRs, which is exactly what the multi-step join of
+    [BKSS94] does.
+    """
+    if len(a) == 1 and len(b) == 1:
+        return abs(a[0][0] - b[0][0]) <= _EPS and abs(a[0][1] - b[0][1]) <= _EPS
+    for i in range(max(len(a) - 1, 1)):
+        sa = (a[i], a[min(i + 1, len(a) - 1)])
+        for j in range(max(len(b) - 1, 1)):
+            sb = (b[j], b[min(j + 1, len(b) - 1)])
+            if segments_intersect(sa[0], sa[1], sb[0], sb[1]):
+                return True
+    return False

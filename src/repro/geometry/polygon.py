@@ -1,0 +1,110 @@
+"""Simple polygon geometry for area objects (administrative boundaries).
+
+Map 2 of the paper mixes border lines, rivers and railway tracks.  Border
+lines in topological data models are stored as lines, but the library
+also supports genuine area objects so that point queries with the
+"geometrically containing" semantics of Section 2 are exercised on
+objects with an interior.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.intersect import (
+    point_in_polygon,
+    polyline_intersects_rect,
+    polylines_intersect,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.sizes import polyline_size_bytes
+
+__all__ = ["Polygon"]
+
+
+class Polygon:
+    """A simple (non self-intersecting) polygon given by its outer ring.
+
+    The ring is stored without a repeated closing vertex; the closing
+    edge is implied.
+    """
+
+    __slots__ = ("vertices", "_mbr")
+
+    def __init__(self, vertices: Sequence[tuple[float, float]]):
+        if len(vertices) < 3:
+            raise GeometryError(
+                f"a polygon needs at least 3 vertices, got {len(vertices)}"
+            )
+        ring = [(float(x), float(y)) for x, y in vertices]
+        if ring[0] == ring[-1]:
+            ring.pop()
+        if len(ring) < 3:
+            raise GeometryError("polygon ring collapsed to fewer than 3 vertices")
+        self.vertices: tuple[tuple[float, float], ...] = tuple(ring)
+        self._mbr: Rect | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def mbr(self) -> Rect:
+        if self._mbr is None:
+            self._mbr = Rect.from_points(self.vertices)
+        return self._mbr
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self.vertices)} vertices, mbr={self.mbr.as_tuple()})"
+
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        """Unsigned area via the shoelace formula."""
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            ax, ay = self.vertices[i]
+            bx, by = self.vertices[(i + 1) % n]
+            total += ax * by - bx * ay
+        return abs(total) / 2.0
+
+    def size_bytes(self) -> int:
+        """Exact-representation size used for storage accounting."""
+        return polyline_size_bytes(len(self.vertices))
+
+    def _closed_ring(self) -> tuple[tuple[float, float], ...]:
+        return self.vertices + (self.vertices[0],)
+
+    # ------------------------------------------------------------------
+    # exact predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed point-in-polygon predicate (boundary counts as inside)."""
+        if not self.mbr.contains_point(x, y):
+            return False
+        return point_in_polygon(x, y, self.vertices)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True if the polygon (interior or boundary) shares a point with
+        the rectangle."""
+        if not self.mbr.intersects(rect):
+            return False
+        # Boundary crosses the window?
+        if polyline_intersects_rect(self._closed_ring(), rect):
+            return True
+        # Window fully inside the polygon?
+        if point_in_polygon(rect.xmin, rect.ymin, self.vertices):
+            return True
+        # Polygon fully inside the window?
+        return rect.contains_point(*self.vertices[0])
+
+    def intersects(self, other: "Polygon") -> bool:
+        """Polygon/polygon intersection (boundaries or containment)."""
+        if not self.mbr.intersects(other.mbr):
+            return False
+        if polylines_intersect(self._closed_ring(), other._closed_ring()):
+            return True
+        if point_in_polygon(*other.vertices[0], self.vertices):
+            return True
+        return point_in_polygon(*self.vertices[0], other.vertices)

@@ -1,0 +1,15 @@
+"""Spatial join processing (Section 6): MBR join, object transfer and
+the complete multi-step intersection join."""
+
+from repro.join.mbr_join import LeafGroup, MBRJoin
+from repro.join.multistep import JoinResult, spatial_join
+from repro.join.object_access import JOIN_TECHNIQUES, ObjectTransfer
+
+__all__ = [
+    "MBRJoin",
+    "LeafGroup",
+    "ObjectTransfer",
+    "JOIN_TECHNIQUES",
+    "JoinResult",
+    "spatial_join",
+]

@@ -1,0 +1,13 @@
+"""Parallel (multi-disk) cluster organization — the Section 7 outlook."""
+
+from repro.parallel.decluster import (
+    DECLUSTERING_POLICIES,
+    ParallelClusterReader,
+    ParallelQueryCost,
+)
+
+__all__ = [
+    "ParallelClusterReader",
+    "ParallelQueryCost",
+    "DECLUSTERING_POLICIES",
+]

@@ -1,0 +1,141 @@
+"""Multi-disk declustering of cluster units — the paper's future work.
+
+Section 7 closes with: "The design of a parallel cluster organization is
+the next challenge … multi-disk systems should be investigated in order
+to organize the high data volume of spatial applications more
+efficiently."  This module implements that extension on top of the
+cluster organization:
+
+* every cluster unit is assigned to one of ``n_disks`` independent
+  disks (each with its own head and cost accounting);
+* a window query reads the units it touches **in parallel** — its
+  response time is the *maximum* per-disk time, while the total device
+  time stays the sum;
+* two declustering policies are provided: ``round_robin`` over unit
+  creation order (a proxy for random placement) and ``spatial``
+  (units sorted by their region's x-center, dealt round-robin), which
+  guarantees that spatially adjacent units — exactly the ones a window
+  query co-accesses — land on different disks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.organization import ClusterOrganization
+from repro.core.unit import ClusterUnit
+from repro.disk.model import DiskModel
+from repro.errors import ConfigurationError
+from repro.geometry.rect import Rect
+
+__all__ = ["DECLUSTERING_POLICIES", "ParallelClusterReader", "ParallelQueryCost"]
+
+DECLUSTERING_POLICIES = ("round_robin", "spatial")
+
+
+@dataclass(slots=True)
+class ParallelQueryCost:
+    """Cost of one window query on the declustered organization."""
+
+    response_ms: float  # parallel response time: max over the disks
+    total_ms: float  # total device time: sum over the disks
+    per_disk_ms: list[float] = field(default_factory=list)
+    units_read: int = 0
+
+    @property
+    def parallelism(self) -> float:
+        """Achieved parallel speed-up: total work / response time."""
+        if self.response_ms <= 0:
+            return 1.0
+        return self.total_ms / self.response_ms
+
+
+class ParallelClusterReader:
+    """Window queries over cluster units declustered onto ``n_disks``.
+
+    The reader leaves the underlying organization untouched — it builds
+    its own unit→disk assignment and prices unit transfers on a private
+    bank of disks, so the same organization can be examined under
+    several disk counts and policies.
+
+    Parameters
+    ----------
+    org:
+        A built cluster organization.
+    n_disks:
+        Number of independent disks.
+    policy:
+        ``"round_robin"`` or ``"spatial"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        org: ClusterOrganization,
+        n_disks: int,
+        policy: str = "spatial",
+    ):
+        if n_disks < 1:
+            raise ConfigurationError(f"need at least one disk, got {n_disks}")
+        if policy not in DECLUSTERING_POLICIES:
+            raise ConfigurationError(
+                f"unknown policy '{policy}'; valid: {DECLUSTERING_POLICIES}"
+            )
+        self.org = org
+        self.n_disks = n_disks
+        self.policy = policy
+        self.disks = [DiskModel(org.disk.params) for _ in range(n_disks)]
+        self.assignment = self._assign()
+
+    # ------------------------------------------------------------------
+    def _assign(self) -> dict[int, int]:
+        """unit extent start -> disk index."""
+        pairs: list[tuple[ClusterUnit, Rect]] = []
+        for leaf in self.org.tree.leaves():
+            unit = leaf.tag
+            if unit is not None and leaf.entries:
+                pairs.append((unit, leaf.mbr()))
+        if self.policy == "spatial":
+            pairs.sort(key=lambda ur: ur[1].center()[0])
+        assignment: dict[int, int] = {}
+        for i, (unit, _region) in enumerate(pairs):
+            assignment[unit.extent.start] = i % self.n_disks
+        return assignment
+
+    def disk_of(self, unit: ClusterUnit) -> int:
+        """The disk index a unit was declustered to."""
+        return self.assignment[unit.extent.start]
+
+    # ------------------------------------------------------------------
+    def window_query_cost(self, window: Rect) -> ParallelQueryCost:
+        """Price a window query that reads every matching cluster unit
+        completely, in parallel across the disks.
+
+        Only the object transfer is priced (the R*-tree filter is the
+        same for any disk count and, as in the paper's measurement mode,
+        the directory is memory-resident).
+        """
+        groups = self.org.tree.window_leaves(window)
+        per_disk = [0.0] * self.n_disks
+        units_read = 0
+        for leaf, entries in groups:
+            unit: ClusterUnit | None = leaf.tag
+            if unit is None or not entries:
+                continue
+            used = min(unit.used_pages, unit.extent.npages)
+            if used == 0:
+                continue
+            disk_index = self.disk_of(unit)
+            per_disk[disk_index] += self.disks[disk_index].read(
+                unit.extent.start, used
+            )
+            units_read += 1
+        return ParallelQueryCost(
+            response_ms=max(per_disk) if per_disk else 0.0,
+            total_ms=sum(per_disk),
+            per_disk_ms=per_disk,
+            units_read=units_read,
+        )
+
+    def workload_response_ms(self, windows: list[Rect]) -> float:
+        """Summed parallel response time of a whole workload."""
+        return sum(self.window_query_cost(w).response_ms for w in windows)

@@ -1,0 +1,25 @@
+"""R*-tree spatial access method [BKSS90] and supporting machinery."""
+
+from repro.rtree.capacity import ByteCapacity, CountCapacity, CountOrByteCapacity
+from repro.rtree.chooser import least_area_enlargement, least_overlap_enlargement
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.pager import NodePager
+from repro.rtree.rstar import RStarTree
+from repro.rtree.split import rstar_split
+from repro.rtree.stats import TreeStats, tree_stats
+
+__all__ = [
+    "RStarTree",
+    "Entry",
+    "Node",
+    "NodePager",
+    "CountCapacity",
+    "ByteCapacity",
+    "CountOrByteCapacity",
+    "rstar_split",
+    "least_area_enlargement",
+    "least_overlap_enlargement",
+    "TreeStats",
+    "tree_stats",
+]

@@ -1,0 +1,85 @@
+"""Leaf-capacity policies.
+
+The three organization models fill their data pages differently:
+
+* **secondary / cluster index pages** hold fixed 46-byte entries, so the
+  page overflows when the entry *count* exceeds ``M``
+  (:class:`CountCapacity`);
+* the **primary organization** stores exact representations inside the
+  data page, so it overflows when the summed *byte* load exceeds the
+  page size (:class:`ByteCapacity`);
+* the **cluster organization** splits when the entry count exceeds ``M``
+  *or* the byte size of the referenced cluster unit exceeds ``Smax``
+  (:class:`CountOrByteCapacity`, the *cluster split* of Section 4.2.1).
+
+Directory pages always use :class:`CountCapacity`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.rtree.node import Node
+
+__all__ = ["CountCapacity", "ByteCapacity", "CountOrByteCapacity"]
+
+
+class CountCapacity:
+    """Overflow when the node holds more than ``max_entries`` entries."""
+
+    __slots__ = ("max_entries",)
+
+    def __init__(self, max_entries: int):
+        if max_entries < 2:
+            raise ConfigurationError(
+                f"a node must hold at least 2 entries, got {max_entries}"
+            )
+        self.max_entries = max_entries
+
+    def is_overflow(self, node: Node) -> bool:
+        return len(node.entries) > self.max_entries
+
+    def __repr__(self) -> str:
+        return f"CountCapacity(M={self.max_entries})"
+
+
+class ByteCapacity:
+    """Overflow when the byte load exceeds ``max_bytes`` (and the node
+    still has at least two entries to distribute)."""
+
+    __slots__ = ("max_bytes",)
+
+    def __init__(self, max_bytes: int):
+        if max_bytes <= 0:
+            raise ConfigurationError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+
+    def is_overflow(self, node: Node) -> bool:
+        return len(node.entries) > 1 and node.load() > self.max_bytes
+
+    def __repr__(self) -> str:
+        return f"ByteCapacity({self.max_bytes}B)"
+
+
+class CountOrByteCapacity:
+    """Overflow on either criterion — the cluster-split rule of
+    Section 4.2.2 step 4."""
+
+    __slots__ = ("max_entries", "max_bytes")
+
+    def __init__(self, max_entries: int, max_bytes: int):
+        if max_entries < 2:
+            raise ConfigurationError(
+                f"a node must hold at least 2 entries, got {max_entries}"
+            )
+        if max_bytes <= 0:
+            raise ConfigurationError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+
+    def is_overflow(self, node: Node) -> bool:
+        if len(node.entries) > self.max_entries:
+            return True
+        return len(node.entries) > 1 and node.load() > self.max_bytes
+
+    def __repr__(self) -> str:
+        return f"CountOrByteCapacity(M={self.max_entries}, Smax={self.max_bytes}B)"

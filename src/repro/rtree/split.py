@@ -1,0 +1,109 @@
+"""The R*-tree split algorithm [BKSS90].
+
+The split proceeds in two steps:
+
+1. **ChooseSplitAxis** — for each axis, sort the entries by their lower
+   and by their upper boundary and generate all legal distributions
+   (first group sizes ``m .. n - m``); the axis with the minimum *margin
+   sum* over all its distributions wins.
+2. **ChooseSplitIndex** — along the winning axis, pick the distribution
+   with the least overlap between the two group MBRs; ties are resolved
+   by the least combined area.
+
+The same routine performs the *cluster split* of Section 4.2.2: when a
+cluster unit outgrows ``Smax``, its data page is "split into exactly two
+cluster units and the objects are distributed onto these cluster units
+according to the R*-tree split algorithm".
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeError
+from repro.geometry.rect import Rect
+from repro.rtree.entry import Entry
+
+__all__ = ["rstar_split", "SplitResult"]
+
+SplitResult = tuple[list[Entry], list[Entry]]
+
+
+def _prefix_mbrs(entries: list[Entry]) -> list[Rect]:
+    """``out[i]`` = MBR of ``entries[: i + 1]``."""
+    out: list[Rect] = []
+    current: Rect | None = None
+    for entry in entries:
+        current = entry.rect if current is None else current.union(entry.rect)
+        out.append(current)
+    return out
+
+
+def _distributions(
+    entries: list[Entry], m: int
+) -> list[tuple[int, Rect, Rect, list[Entry]]]:
+    """All legal split positions for one sort order.
+
+    Yields ``(k, mbr_first, mbr_second, sorted_entries)`` where the first
+    group is ``sorted_entries[:k]``.
+    """
+    n = len(entries)
+    prefix = _prefix_mbrs(entries)
+    suffix = _prefix_mbrs(entries[::-1])[::-1]  # suffix[i] = MBR of entries[i:]
+    result = []
+    for k in range(m, n - m + 1):
+        result.append((k, prefix[k - 1], suffix[k], entries))
+    return result
+
+
+def rstar_split(entries: list[Entry], min_fill_fraction: float = 0.4) -> SplitResult:
+    """Split an overflowing entry list into two groups per [BKSS90].
+
+    Parameters
+    ----------
+    entries:
+        At least two entries.
+    min_fill_fraction:
+        Fraction of the entries that must land in each group (the
+        R*-tree recommends 40 %).
+
+    Returns
+    -------
+    Two non-empty entry lists whose union is the input.
+    """
+    n = len(entries)
+    if n < 2:
+        raise TreeError(f"cannot split a node with {n} entries")
+    m = max(1, min(int(min_fill_fraction * n), n // 2))
+
+    # ------------------------------------------------------------------
+    # ChooseSplitAxis: minimum margin sum over both sort orders per axis.
+    # ------------------------------------------------------------------
+    best_axis_dists = None
+    best_margin_sum = None
+    for axis in (0, 1):  # 0 = x, 1 = y
+        if axis == 0:
+            by_lower = sorted(entries, key=lambda e: (e.rect.xmin, e.rect.xmax))
+            by_upper = sorted(entries, key=lambda e: (e.rect.xmax, e.rect.xmin))
+        else:
+            by_lower = sorted(entries, key=lambda e: (e.rect.ymin, e.rect.ymax))
+            by_upper = sorted(entries, key=lambda e: (e.rect.ymax, e.rect.ymin))
+        dists = _distributions(by_lower, m) + _distributions(by_upper, m)
+        margin_sum = sum(r1.margin() + r2.margin() for _, r1, r2, _ in dists)
+        if best_margin_sum is None or margin_sum < best_margin_sum:
+            best_margin_sum = margin_sum
+            best_axis_dists = dists
+
+    assert best_axis_dists is not None
+
+    # ------------------------------------------------------------------
+    # ChooseSplitIndex: least overlap, ties by least combined area.
+    # ------------------------------------------------------------------
+    best_key = None
+    best = None
+    for k, r1, r2, ordered in best_axis_dists:
+        key = (r1.overlap_area(r2), r1.area() + r2.area())
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (k, ordered)
+    assert best is not None
+    k, ordered = best
+    return list(ordered[:k]), list(ordered[k:])

@@ -1,0 +1,28 @@
+"""The organization models of Section 3.2.
+
+:class:`SecondaryOrganization` and :class:`PrimaryOrganization` live
+here; the :class:`~repro.core.ClusterOrganization` (the paper's
+contribution) is defined in :mod:`repro.core` and re-exported lazily so
+all three can be imported from one place without an import cycle
+(``core.organization`` itself builds on :mod:`repro.storage.base`).
+"""
+
+from repro.storage.base import QueryResult, SpatialOrganization
+from repro.storage.primary import PrimaryOrganization
+from repro.storage.secondary import SecondaryOrganization
+
+__all__ = [
+    "SpatialOrganization",
+    "QueryResult",
+    "SecondaryOrganization",
+    "PrimaryOrganization",
+    "ClusterOrganization",
+]
+
+
+def __getattr__(name: str):
+    if name == "ClusterOrganization":
+        from repro.core.organization import ClusterOrganization
+
+        return ClusterOrganization
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

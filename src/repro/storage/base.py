@@ -1,0 +1,298 @@
+"""Common machinery of the three organization models (Section 3.2).
+
+Every organization owns
+
+* an R*-tree over the objects' MBRs (the spatial access method),
+* a simulated :class:`~repro.disk.DiskModel` pricing all I/O,
+* the in-memory object table (the simulator never serialises payloads —
+  it prices page traffic).
+
+The lifecycle has two phases.  During **construction**, node I/O runs
+through a write-back LRU buffer (the authors' testbed caches the upper
+tree levels).  :meth:`finalize_build` flushes that buffer and switches
+to **measurement** mode, where the directory is assumed memory-resident
+and every data-page and object access is priced — matching how the
+paper reports query I/O cost.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.constants import ENTRY_SIZE, PAGE_CAPACITY, PAGE_SIZE
+from repro.disk.allocator import PageAllocator
+from repro.disk.model import DiskModel, DiskStats
+from repro.errors import StorageError
+from repro.geometry.feature import SpatialObject
+from repro.geometry.rect import Rect
+from repro.rtree.pager import NodePager
+from repro.rtree.rstar import RStarTree
+
+__all__ = ["QueryResult", "SpatialOrganization"]
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Outcome of one spatial query against an organization model.
+
+    Attributes
+    ----------
+    objects:
+        The answers — objects passing the *exact* geometry test.
+    candidates:
+        Number of filter-step candidates (MBR matches) whose exact
+        representation was retrieved.
+    bytes_retrieved:
+        Exact-representation bytes of the retrieved candidates; queries
+        are normalised to this data volume ("I/O-cost per 4 KB of
+        queried data", Figures 8/12).
+    io:
+        I/O statistics of this query alone.
+    exact_tests:
+        Number of exact geometry tests executed during refinement.
+    """
+
+    objects: list[SpatialObject] = field(default_factory=list)
+    candidates: int = 0
+    bytes_retrieved: int = 0
+    io: DiskStats = field(default_factory=DiskStats)
+    exact_tests: int = 0
+
+    @property
+    def io_ms_per_4kb(self) -> float:
+        """The paper's normalised metric: milliseconds of I/O per 4 KB
+        of retrieved object data (infinite if nothing was retrieved —
+        callers aggregate over many queries, so empty queries simply
+        contribute their cost to a shared numerator)."""
+        units = self.bytes_retrieved / PAGE_SIZE
+        if units == 0:
+            return float("inf")
+        return self.io.total_ms / units
+
+
+class SpatialOrganization(abc.ABC):
+    """Base class of the secondary, primary and cluster organizations."""
+
+    #: subclasses override — used in reports
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        disk: DiskModel | None = None,
+        allocator: PageAllocator | None = None,
+        page_size: int = PAGE_SIZE,
+        max_entries: int = PAGE_CAPACITY,
+        construction_buffer_pages: int = 256,
+        region_prefix: str = "",
+    ):
+        self.disk = disk or DiskModel()
+        self.allocator = allocator or PageAllocator()
+        self.page_size = page_size
+        self.max_entries = max_entries
+        self.region_prefix = region_prefix or self.name
+        self.objects: dict[int, SpatialObject] = {}
+        self._construction_io = DiskStats()
+        self._measuring = False
+
+        tree_region = self._claim_region("tree")
+        # Construction runs under the same assumption as measurement:
+        # the small directory is memory-resident, data pages live on
+        # disk behind a modest write-back buffer.  A large buffer would
+        # absorb the forced-reinsert I/O that distinguishes the
+        # organization models in Figure 5.
+        self._construction_pager = NodePager(
+            self.disk,
+            tree_region,
+            buffer_capacity=construction_buffer_pages,
+            directory_resident=True,
+        )
+        self._query_pager = NodePager(
+            self.disk, tree_region, buffer_capacity=None, directory_resident=True
+        )
+        self.tree = self._build_tree(self._construction_pager)
+
+    def _claim_region(self, suffix: str):
+        """Create the region ``<prefix>.<suffix>``, refusing to share an
+        existing one — two organizations on one allocator (e.g. the two
+        relations of a spatial join) must use distinct prefixes."""
+        name = f"{self.region_prefix}.{suffix}"
+        if name in self.allocator.regions():
+            raise StorageError(
+                f"region '{name}' already exists; give each organization "
+                f"sharing an allocator a distinct region_prefix"
+            )
+        return self.allocator.region(name)
+
+    # ------------------------------------------------------------------
+    # subclass surface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build_tree(self, pager: NodePager) -> RStarTree:
+        """Create the organization's R*-tree wired to ``pager``."""
+
+    @abc.abstractmethod
+    def _store_object(self, obj: SpatialObject) -> object:
+        """Physically place a new object; returns the entry payload
+        (the organization's locator for the exact representation)."""
+
+    @abc.abstractmethod
+    def _retrieve(
+        self,
+        groups: list,
+        result: QueryResult,
+        window: Rect,
+        selective: bool = False,
+    ) -> list[SpatialObject]:
+        """Transfer the exact representations of the filter candidates
+        (``groups`` is the output of ``tree.window_leaves``), pricing
+        the disk traffic; returns the candidate objects in read order.
+
+        ``window`` is the query region (techniques like the geometric
+        threshold need it); ``selective`` marks point queries, which
+        access single objects through the cluster unit's relative
+        addresses instead of bulk-reading units (Sections 4.2.2/5.5).
+        """
+
+    @abc.abstractmethod
+    def occupied_pages(self) -> int:
+        """Total pages bound by the organization (Figure 6's metric)."""
+
+    # ------------------------------------------------------------------
+    # construction phase
+    # ------------------------------------------------------------------
+    def insert(self, obj: SpatialObject) -> None:
+        """Insert one object (Section 4.2.2 steps 1-4).
+
+        Insertions remain legal after :meth:`finalize_build`, but are
+        then priced under the measurement-mode assumption of a
+        memory-resident directory.
+        """
+        if obj.oid in self.objects:
+            raise StorageError(f"duplicate object id {obj.oid}")
+        self.objects[obj.oid] = obj
+        payload = self._store_object(obj)
+        self.tree.insert(
+            obj.oid, obj.mbr, load=self._entry_load(obj), payload=payload
+        )
+
+    def delete(self, oid: int) -> SpatialObject:
+        """Remove an object; the tree condenses and the organization
+        reclaims (or abandons, for the sequential file) its storage."""
+        obj = self.objects.get(oid)
+        if obj is None:
+            raise StorageError(f"unknown object id {oid}")
+        self.tree.delete(oid, obj.mbr)
+        self._unstore_object(obj)
+        del self.objects[oid]
+        return obj
+
+    def _unstore_object(self, obj: SpatialObject) -> None:
+        """Release physical storage of a deleted object (default: none —
+        the secondary organization's sequential file never reclaims)."""
+
+    def _entry_load(self, obj: SpatialObject) -> int:
+        """Byte load the object's entry contributes to its data page;
+        organizations with byte-aware capacities override this."""
+        return ENTRY_SIZE
+
+    def build(
+        self, objects: list[SpatialObject], order: str = "insertion"
+    ) -> DiskStats:
+        """Insert all objects, finalize, and return the construction I/O.
+
+        ``order="insertion"`` is the paper's setting (Section 5.2:
+        "the input data were unsorted").  ``order="hilbert"`` is an
+        extension following the global-order line of related work
+        ([HSW88], [HWZ91]): objects are inserted along the Hilbert
+        curve, so consecutive insertions hit neighbouring data pages,
+        which improves construction locality and tree quality.
+        """
+        if self._measuring:
+            raise StorageError(
+                "build() can run only once — the organization is already "
+                "finalized into measurement mode (use insert() for "
+                "further dynamic insertions)"
+            )
+        if order == "hilbert":
+            from repro.core.hilbert import sort_by_hilbert
+
+            bound = 1.0
+            for obj in objects:
+                bound = max(bound, obj.mbr.xmax, obj.mbr.ymax)
+            objects = sort_by_hilbert(objects, bound)
+        elif order != "insertion":
+            raise StorageError(
+                f"unknown build order '{order}'; valid: insertion, hilbert"
+            )
+        before = self.disk.stats()
+        for obj in objects:
+            self.insert(obj)
+        self.finalize_build()
+        self._construction_io = self.disk.stats() - before
+        return self._construction_io
+
+    def finalize_build(self) -> None:
+        """Flush construction buffers and switch to measurement mode."""
+        if self._measuring:
+            return
+        self._construction_pager.flush()
+        self.tree.pager = self._query_pager
+        self._measuring = True
+
+    @property
+    def construction_io(self) -> DiskStats:
+        """I/O statistics of the :meth:`build` call (Figure 5)."""
+        return self._construction_io
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def window_query(self, window: Rect) -> QueryResult:
+        """Filter + refinement window query (Section 2)."""
+        result = QueryResult()
+        before = self.disk.stats()
+        groups = self.tree.window_leaves(window)
+        candidates = self._retrieve(groups, result, window)
+        result.candidates = len(candidates)
+        result.bytes_retrieved = sum(o.size_bytes for o in candidates)
+        for obj in candidates:
+            # Refinement shortcut: an object whose MBR lies inside the
+            # window necessarily shares points with it.
+            if window.contains(obj.mbr):
+                result.objects.append(obj)
+            else:
+                result.exact_tests += 1
+                if obj.intersects_rect(window):
+                    result.objects.append(obj)
+        result.io = self.disk.stats() - before
+        return result
+
+    def point_query(self, x: float, y: float) -> QueryResult:
+        """Filter + refinement point query (Section 2)."""
+        result = QueryResult()
+        before = self.disk.stats()
+        point = Rect(x, y, x, y)
+        groups = self.tree.window_leaves(point)
+        candidates = self._retrieve(groups, result, point, selective=True)
+        result.candidates = len(candidates)
+        result.bytes_retrieved = sum(o.size_bytes for o in candidates)
+        for obj in candidates:
+            result.exact_tests += 1
+            if obj.contains_point(x, y):
+                result.objects.append(obj)
+        result.io = self.disk.stats() - before
+        return result
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def tree_pages(self) -> int:
+        """Pages occupied by the R*-tree itself."""
+        return self.tree.node_count()
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def pages_for(self, size_bytes: int) -> int:
+        return -(-size_bytes // self.page_size)

@@ -1,0 +1,102 @@
+"""Shared fixtures: small deterministic datasets and organizations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.policy import ClusterPolicy
+from repro.core.organization import ClusterOrganization
+from repro.geometry.feature import SpatialObject
+from repro.geometry.polyline import Polyline
+from repro.geometry.rect import Rect
+from repro.storage.primary import PrimaryOrganization
+from repro.storage.secondary import SecondaryOrganization
+
+
+def make_objects(
+    n: int = 300,
+    seed: int = 13,
+    space: float = 10_000.0,
+    size_range: tuple[int, int] = (200, 2000),
+) -> list[SpatialObject]:
+    """Deterministic small object population: short random polylines with
+    varying byte sizes, clustered in a few blobs plus uniform noise."""
+    rng = random.Random(seed)
+    centers = [(rng.uniform(0, space), rng.uniform(0, space)) for _ in range(5)]
+    objects = []
+    for oid in range(n):
+        if rng.random() < 0.7:
+            cx, cy = centers[rng.randrange(len(centers))]
+            x = rng.gauss(cx, space * 0.03)
+            y = rng.gauss(cy, space * 0.03)
+        else:
+            x, y = rng.uniform(0, space), rng.uniform(0, space)
+        x = min(max(x, 0.0), space)
+        y = min(max(y, 0.0), space)
+        pts = [(x, y)]
+        for _ in range(rng.randrange(2, 6)):
+            x = min(max(x + rng.uniform(-40, 40), 0.0), space)
+            y = min(max(y + rng.uniform(-40, 40), 0.0), space)
+            pts.append((x, y))
+        size = rng.randrange(*size_range)
+        objects.append(SpatialObject(oid, Polyline(pts), size_bytes=max(size, 200)))
+    return objects
+
+
+@pytest.fixture(scope="session")
+def objects300() -> list[SpatialObject]:
+    return make_objects(300)
+
+
+def build_org(
+    kind: str,
+    objects,
+    smax_bytes: int = 16 * 4096,
+    buddy_sizes: int | None = None,
+    order: str = "insertion",
+    **kwargs,
+):
+    """Build one organization over the given objects."""
+    if kind == "secondary":
+        org = SecondaryOrganization(**kwargs)
+    elif kind == "primary":
+        org = PrimaryOrganization(**kwargs)
+    elif kind == "cluster":
+        org = ClusterOrganization(
+            policy=ClusterPolicy(smax_bytes, buddy_sizes=buddy_sizes), **kwargs
+        )
+    else:
+        raise ValueError(kind)
+    org.build(list(objects), order=order)
+    return org
+
+
+@pytest.fixture(scope="session")
+def secondary300(objects300):
+    return build_org("secondary", objects300)
+
+
+@pytest.fixture(scope="session")
+def primary300(objects300):
+    return build_org("primary", objects300)
+
+
+@pytest.fixture(scope="session")
+def cluster300(objects300):
+    return build_org("cluster", objects300)
+
+
+def brute_force_window(objects, rect: Rect) -> set[int]:
+    """Reference filter+refinement window query."""
+    return {
+        o.oid
+        for o in objects
+        if o.mbr.intersects(rect) and o.intersects_rect(rect)
+    }
+
+
+def brute_force_candidates(objects, rect: Rect) -> set[int]:
+    """Reference filter-only candidates."""
+    return {o.oid for o in objects if o.mbr.intersects(rect)}

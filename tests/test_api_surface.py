@@ -1,0 +1,142 @@
+"""API-surface and edge-case tests: exports, error hierarchy, paper
+constants, and odd corners of the public classes."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import constants
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    DiskError,
+    GeometryError,
+    ObjectTooLargeError,
+    ReproError,
+    StorageError,
+    TreeError,
+)
+
+
+class TestPaperConstants:
+    def test_page_capacity_is_89(self):
+        # 4096 / 46 = 89 entries per page (Section 5.1).
+        assert constants.PAGE_CAPACITY == 89
+
+    def test_disk_triple(self):
+        assert constants.SEEK_TIME_MS > constants.LATENCY_TIME_MS > (
+            constants.TRANSFER_TIME_MS
+        )
+
+    def test_smax_rule_average_entries(self):
+        # "an average of 58 objects per cluster unit will be clustered"
+        # for 4 KB pages, 46 B entries and 66 % utilization.
+        assert int(constants.PAGE_CAPACITY * 0.66) == 58
+
+    def test_exact_test_cost(self):
+        assert constants.EXACT_TEST_MS == 0.75
+
+
+class TestExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_star_import_namespace(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        assert "SpatialDatabase" in namespace
+        assert "RStarTree" in namespace
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GeometryError,
+            DiskError,
+            AllocationError,
+            StorageError,
+            ObjectTooLargeError,
+            TreeError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_allocation_is_disk_error(self):
+        assert issubclass(AllocationError, DiskError)
+
+    def test_object_too_large_is_storage_error(self):
+        assert issubclass(ObjectTooLargeError, StorageError)
+
+
+class TestEdgeCases:
+    def test_window_leaves_empty_tree(self):
+        from repro.geometry.rect import Rect
+        from repro.rtree.rstar import RStarTree
+
+        tree = RStarTree(max_entries=4)
+        assert tree.window_leaves(Rect(0, 0, 1, 1)) == []
+
+    def test_grow_unit_rejected_on_fixed_allocator(self):
+        from repro.core.organization import ClusterOrganization
+        from repro.core.policy import ClusterPolicy
+        from repro.core.unit import ClusterUnit
+        from repro.disk.extent import Extent
+
+        org = ClusterOrganization(policy=ClusterPolicy(8 * 4096))
+        unit = ClusterUnit(Extent(0, 8), 4096)
+        with pytest.raises(StorageError):
+            org._grow_unit(unit, 10 * 4096)
+
+    def test_database_with_custom_disk_params(self):
+        from repro import DiskParameters, SpatialDatabase
+
+        params = DiskParameters(seek_ms=20.0, latency_ms=10.0, transfer_ms=2.0)
+        db = SpatialDatabase(organization="secondary", disk_params=params)
+        db.insert_polyline(1, [(0, 0), (1, 1)])
+        db.finalize()
+        result = db.window_query(-1, -1, 2, 2)
+        # One data-page read + one object read at the slow disk's rates.
+        assert result.io.total_ms == pytest.approx(2 * (20 + 10 + 2))
+
+    def test_cluster_policy_page_size_mismatch_detected(self):
+        from repro.core.organization import ClusterOrganization
+        from repro.core.policy import ClusterPolicy
+
+        with pytest.raises(ConfigurationError):
+            ClusterOrganization(
+                policy=ClusterPolicy(8 * 4096, page_size=4096),
+                page_size=8192,
+            )
+
+    def test_techniques_list_stable(self):
+        from repro.core.techniques import TECHNIQUES
+
+        assert TECHNIQUES == (
+            "complete", "page", "threshold", "slm", "adaptive", "optimum"
+        )
+
+    def test_join_techniques_list_stable(self):
+        from repro.join.object_access import JOIN_TECHNIQUES
+
+        assert JOIN_TECHNIQUES == ("complete", "read", "vector", "optimum")
+
+    def test_query_after_deleting_everything(self):
+        from tests.conftest import build_org, make_objects
+
+        objs = make_objects(30, seed=91)
+        org = build_org("cluster", objs)
+        for o in objs:
+            org.delete(o.oid)
+        from repro.geometry.rect import Rect
+
+        res = org.window_query(Rect(0, 0, 10_000, 10_000))
+        assert res.objects == [] and res.candidates == 0
+        assert org.unit_count() == 0

@@ -1,0 +1,195 @@
+"""Tests for the disk substrate: parameters, cost model, extents."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk.extent import Extent
+from repro.disk.model import DiskModel, DiskStats
+from repro.disk.params import DiskParameters
+from repro.disk.trace import IOPhase
+from repro.errors import ConfigurationError, DiskError
+
+
+class TestDiskParameters:
+    def test_paper_defaults(self):
+        p = DiskParameters()
+        assert (p.seek_ms, p.latency_ms, p.transfer_ms) == (9.0, 6.0, 1.0)
+        assert p.page_size == 4096
+
+    def test_cost_formulas(self):
+        p = DiskParameters()
+        assert p.random_access_ms(4) == 9 + 6 + 4
+        assert p.continuation_ms(4) == 6 + 4
+        assert p.sequential_ms(4) == 4
+
+    def test_ordering_enforced(self):
+        # The paper assumes ts >= tl >= tt.
+        with pytest.raises(ConfigurationError):
+            DiskParameters(seek_ms=1.0, latency_ms=6.0, transfer_ms=1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskParameters(seek_ms=-1.0, latency_ms=-2.0, transfer_ms=-3.0)
+
+    def test_slm_gap_paper_value(self):
+        # l = tl/tt - 1/2 = 5.5 -> interrupt at gaps of 6+ pages.
+        assert DiskParameters().slm_gap_pages == 6
+
+    def test_slm_gap_other_disk(self):
+        p = DiskParameters(seek_ms=10, latency_ms=4, transfer_ms=2)
+        # l = 4/2 - 0.5 = 1.5 -> 2 pages
+        assert p.slm_gap_pages == 2
+
+
+class TestExtent:
+    def test_basic(self):
+        e = Extent(10, 4)
+        assert e.end == 14
+        assert list(e.pages()) == [10, 11, 12, 13]
+        assert e.contains(13) and not e.contains(14)
+
+    def test_invalid(self):
+        with pytest.raises(DiskError):
+            Extent(-1, 2)
+        with pytest.raises(DiskError):
+            Extent(0, 0)
+
+    def test_subextent(self):
+        e = Extent(10, 10)
+        assert e.subextent(2, 3) == Extent(12, 3)
+
+    def test_subextent_out_of_range(self):
+        with pytest.raises(DiskError):
+            Extent(10, 4).subextent(2, 5)
+
+    def test_overlaps_and_adjacent(self):
+        assert Extent(0, 5).overlaps(Extent(4, 2))
+        assert not Extent(0, 5).overlaps(Extent(5, 2))
+        assert Extent(0, 5).adjacent_to(Extent(5, 2))
+        assert Extent(5, 2).adjacent_to(Extent(0, 5))
+        assert not Extent(0, 5).adjacent_to(Extent(6, 2))
+
+
+class TestDiskModel:
+    def test_fresh_read_cost(self):
+        disk = DiskModel()
+        cost = disk.read(100, 4)
+        assert cost == 9 + 6 + 4
+        stats = disk.stats()
+        assert stats.seeks == 1 and stats.rotations == 1
+        assert stats.pages_transferred == 4
+
+    def test_sequential_detection(self):
+        disk = DiskModel()
+        disk.read(100, 4)
+        cost = disk.read(104, 2)  # continues where head sits
+        assert cost == 2.0  # transfer only
+
+    def test_continuation_cost(self):
+        disk = DiskModel()
+        disk.read(100, 1)
+        cost = disk.read(200, 3, continuation=True)
+        assert cost == 6 + 3
+
+    def test_head_moves(self):
+        disk = DiskModel()
+        disk.read(100, 4)
+        assert disk.head == 104
+        disk.write(50, 1)
+        assert disk.head == 51
+
+    def test_invalidate_head(self):
+        disk = DiskModel()
+        disk.read(100, 4)
+        disk.invalidate_head()
+        assert disk.read(104, 1) == 16.0  # fresh again
+
+    def test_write_same_pricing(self):
+        disk = DiskModel()
+        assert disk.write(0, 1) == 16.0
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(DiskError):
+            DiskModel().read(0, 0)
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(DiskError):
+            DiskModel().read(-5, 1)
+
+    def test_reset(self):
+        disk = DiskModel()
+        disk.read(0, 10)
+        disk.reset()
+        assert disk.total_ms == 0.0
+        assert disk.head is None
+
+    def test_trace_records_requests(self):
+        disk = DiskModel(trace=True)
+        disk.read(0, 2)
+        disk.write(10, 1)
+        assert [r.kind for r in disk.requests] == ["read", "write"]
+
+    def test_extent_helpers(self):
+        disk = DiskModel()
+        disk.read_extent(Extent(5, 3))
+        disk.write_extent(Extent(8, 2))
+        assert disk.stats().pages_transferred == 5
+
+    def test_component_sum(self):
+        disk = DiskModel()
+        disk.read(0, 3)
+        disk.read(100, 2, continuation=True)
+        s = disk.stats()
+        assert s.total_ms == pytest.approx(s.seek_ms + s.latency_ms + s.transfer_ms)
+        assert s.seek_ms == 9.0
+        assert s.latency_ms == 12.0
+        assert s.transfer_ms == 5.0
+
+
+class TestDiskStats:
+    def test_subtraction(self):
+        disk = DiskModel()
+        disk.read(0, 1)
+        before = disk.stats()
+        disk.read(100, 2)
+        delta = disk.stats() - before
+        assert delta.requests == 1
+        assert delta.pages_transferred == 2
+
+    def test_addition(self):
+        a = DiskStats(requests=1, seek_ms=9.0)
+        b = DiskStats(requests=2, seek_ms=18.0)
+        c = a + b
+        assert c.requests == 3 and c.seek_ms == 27.0
+
+    def test_total_seconds(self):
+        s = DiskStats(seek_ms=500.0, latency_ms=300.0, transfer_ms=200.0)
+        assert s.total_s == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        s = DiskStats(requests=1)
+        c = s.copy()
+        c.requests = 5
+        assert s.requests == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 16)), max_size=30))
+    def test_stats_monotone(self, requests):
+        disk = DiskModel()
+        last = 0.0
+        for start, npages in requests:
+            disk.read(start, npages)
+            assert disk.total_ms >= last
+            last = disk.total_ms
+
+
+class TestIOPhase:
+    def test_measures_delta(self):
+        disk = DiskModel()
+        disk.read(0, 5)
+        with IOPhase(disk) as phase:
+            disk.read(100, 2)
+        assert phase.stats.requests == 1
+        assert phase.ms == pytest.approx(9 + 6 + 2)
+        assert phase.seconds == pytest.approx(phase.ms / 1000)

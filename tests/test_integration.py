@@ -1,0 +1,147 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests run the realistic pipeline — generator → organizations →
+queries/joins — and check global consistency properties that unit tests
+cannot see (answer equality across organizations on generated data,
+cost-model sanity relations, determinism of whole experiments).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.organization import ClusterOrganization
+from repro.core.policy import ClusterPolicy
+from repro.data import generate_map, scaled, spec_for, window_workload
+from repro.data.workload import point_workload
+from repro.disk.allocator import PageAllocator
+from repro.disk.model import DiskModel
+from repro.eval.config import ExperimentConfig
+from repro.eval.context import ExperimentContext
+from repro.join.multistep import spatial_join
+from repro.storage.primary import PrimaryOrganization
+from repro.storage.secondary import SecondaryOrganization
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    spec = scaled(spec_for("A-1"), 1500 / spec_for("A-1").n_objects)
+    return spec, generate_map(spec, seed=77)
+
+
+@pytest.fixture(scope="module")
+def organizations(dataset):
+    spec, objects = dataset
+    orgs = {}
+    for cls, kwargs in (
+        (SecondaryOrganization, {}),
+        (PrimaryOrganization, {}),
+        (ClusterOrganization, {"policy": ClusterPolicy(spec.smax_bytes)}),
+    ):
+        org = cls(**kwargs)
+        org.build(objects)
+        orgs[org.name] = org
+    return orgs
+
+
+class TestGeneratedDataPipeline:
+    def test_window_answers_equal_across_orgs(self, dataset, organizations):
+        _, objects = dataset
+        for windows in (
+            window_workload(objects, 1e-4, n_queries=15, seed=1),
+            window_workload(objects, 1e-2, n_queries=10, seed=2),
+        ):
+            for window in windows:
+                answers = {
+                    name: sorted(o.oid for o in org.window_query(window).objects)
+                    for name, org in organizations.items()
+                }
+                assert answers["secondary"] == answers["primary"]
+                assert answers["secondary"] == answers["cluster"]
+
+    def test_point_answers_equal_across_orgs(self, dataset, organizations):
+        _, objects = dataset
+        points = point_workload(window_workload(objects, 1e-4, n_queries=25, seed=3))
+        for x, y in points:
+            answers = {
+                name: sorted(o.oid for o in org.point_query(x, y).objects)
+                for name, org in organizations.items()
+            }
+            assert answers["secondary"] == answers["primary"]
+            assert answers["secondary"] == answers["cluster"]
+
+    def test_large_windows_favor_cluster(self, dataset, organizations):
+        _, objects = dataset
+        windows = window_workload(objects, 1e-1, n_queries=10, seed=4)
+        costs = {}
+        for name, org in organizations.items():
+            costs[name] = sum(
+                org.window_query(w).io.total_ms for w in windows
+            )
+        assert costs["cluster"] < costs["primary"] < costs["secondary"]
+
+    def test_answers_subset_of_candidates(self, dataset, organizations):
+        _, objects = dataset
+        windows = window_workload(objects, 1e-3, n_queries=10, seed=5)
+        for org in organizations.values():
+            for w in windows:
+                res = org.window_query(w)
+                assert len(res.objects) <= res.candidates
+
+
+class TestDeterminism:
+    def test_whole_experiment_reproducible(self):
+        def run() -> tuple:
+            cfg = ExperimentConfig(scale=0.008, seed=123)
+            ctx = ExperimentContext(cfg)
+            org = ctx.org("cluster", "A-1")
+            windows = ctx.windows("A-1", 1e-3)[:10]
+            io = sum(org.window_query(w).io.total_ms for w in windows)
+            return (org.construction_io.total_ms, org.occupied_pages(), io)
+
+        assert run() == run()
+
+    def test_join_reproducible(self):
+        def run() -> tuple:
+            disk, alloc = DiskModel(), PageAllocator()
+            spec1 = scaled(spec_for("A-1"), 0.008)
+            spec2 = scaled(spec_for("A-2"), 0.008)
+            m1 = generate_map(spec1, seed=5)
+            m2 = generate_map(spec2, seed=5, id_offset=10_000_000)
+            o1 = SecondaryOrganization(disk=disk, allocator=alloc, region_prefix="r")
+            o2 = SecondaryOrganization(disk=disk, allocator=alloc, region_prefix="s")
+            o1.build(m1)
+            o2.build(m2)
+            res = spatial_join(o1, o2, buffer_pages=64)
+            return (res.candidate_pairs, res.io_ms)
+
+        assert run() == run()
+
+
+class TestCostModelSanity:
+    def test_query_cost_scales_with_answer_volume(self, dataset, organizations):
+        """More retrieved data means more I/O time, for every model."""
+        _, objects = dataset
+        small = window_workload(objects, 1e-4, n_queries=10, seed=6)
+        large = window_workload(objects, 1e-1, n_queries=10, seed=6)
+        for org in organizations.values():
+            io_small = sum(org.window_query(w).io.total_ms for w in small)
+            io_large = sum(org.window_query(w).io.total_ms for w in large)
+            assert io_large > io_small
+
+    def test_normalized_cost_bounded_below_by_transfer(
+        self, dataset, organizations
+    ):
+        """No organization can beat the raw transfer rate (1 ms/4KB)."""
+        _, objects = dataset
+        windows = window_workload(objects, 1e-1, n_queries=10, seed=7)
+        for org in organizations.values():
+            io = sum(org.window_query(w).io.total_ms for w in windows)
+            data = sum(org.window_query(w).bytes_retrieved for w in windows)
+            assert io >= data / 4096  # >= 1 ms per 4 KB page
+
+    def test_construction_io_consistent_with_disk_totals(self, dataset):
+        spec, objects = dataset
+        org = SecondaryOrganization()
+        io = org.build(objects)
+        assert io.total_ms == pytest.approx(org.disk.stats().total_ms)

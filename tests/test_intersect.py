@@ -1,0 +1,163 @@
+"""Tests for the exact geometric predicates (repro.geometry.intersect)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.intersect import (
+    orientation,
+    point_in_polygon,
+    polyline_intersects_rect,
+    polylines_intersect,
+    segment_intersects_rect,
+    segments_intersect,
+)
+from repro.geometry.rect import Rect
+
+coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(0, 0, 1, 0, 0, 1) == 1
+
+    def test_clockwise(self):
+        assert orientation(0, 0, 0, 1, 1, 0) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (1, 1))
+
+    def test_shared_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_near_miss(self):
+        assert not segments_intersect((0, 0), (1, 1), (0, 0.01), (-1, 1))
+
+    @given(point, point, point, point)
+    def test_symmetry(self, a, b, c, d):
+        assert segments_intersect(a, b, c, d) == segments_intersect(c, d, a, b)
+
+    @given(point, point)
+    def test_segment_intersects_itself(self, a, b):
+        assert segments_intersect(a, b, a, b)
+
+
+class TestSegmentRect:
+    RECT = Rect(0, 0, 10, 10)
+
+    def test_fully_inside(self):
+        assert segment_intersects_rect((1, 1), (2, 2), self.RECT)
+
+    def test_crossing_through(self):
+        assert segment_intersects_rect((-5, 5), (15, 5), self.RECT)
+
+    def test_outside(self):
+        assert not segment_intersects_rect((20, 20), (30, 30), self.RECT)
+
+    def test_touching_edge(self):
+        assert segment_intersects_rect((-5, 10), (5, 10), self.RECT)
+
+    def test_diagonal_corner_clip(self):
+        assert segment_intersects_rect((-1, 1), (1, -1), self.RECT)
+
+    def test_diagonal_near_corner_miss(self):
+        assert not segment_intersects_rect((-2, 1), (1, -2), self.RECT)
+
+    @given(point, point)
+    def test_consistent_with_endpoints(self, a, b):
+        rect = Rect(-50, -50, 50, 50)
+        if rect.contains_point(*a) or rect.contains_point(*b):
+            assert segment_intersects_rect(a, b, rect)
+
+
+class TestPointInPolygon:
+    SQUARE = [(0, 0), (10, 0), (10, 10), (0, 10)]
+
+    def test_inside(self):
+        assert point_in_polygon(5, 5, self.SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon(15, 5, self.SQUARE)
+
+    def test_on_edge(self):
+        assert point_in_polygon(5, 0, self.SQUARE)
+
+    def test_on_vertex(self):
+        assert point_in_polygon(0, 0, self.SQUARE)
+
+    def test_concave_polygon(self):
+        # A "U" shape: the notch is outside.
+        u_shape = [(0, 0), (10, 0), (10, 10), (6, 10), (6, 4), (4, 4), (4, 10), (0, 10)]
+        assert point_in_polygon(2, 8, u_shape)
+        assert not point_in_polygon(5, 8, u_shape)
+        assert point_in_polygon(5, 2, u_shape)
+
+    def test_degenerate_too_few_vertices(self):
+        assert not point_in_polygon(0, 0, [(0, 0), (1, 1)])
+
+
+class TestPolylineRect:
+    def test_single_vertex(self):
+        assert polyline_intersects_rect([(1, 1)], Rect(0, 0, 2, 2))
+        assert not polyline_intersects_rect([(5, 5)], Rect(0, 0, 2, 2))
+
+    def test_chain_crossing(self):
+        chain = [(-5, 1), (1, 1), (1, -5)]
+        assert polyline_intersects_rect(chain, Rect(0, 0, 2, 2))
+
+    def test_chain_outside(self):
+        chain = [(5, 5), (6, 6), (7, 5)]
+        assert not polyline_intersects_rect(chain, Rect(0, 0, 2, 2))
+
+    def test_chain_surrounding_but_not_touching(self):
+        # A chain circling the rect without entering it.
+        ring = [(-1, -1), (3, -1), (3, 3), (-1, 3), (-1, -1)]
+        assert not polyline_intersects_rect(ring, Rect(0.5, 0.5, 1.5, 1.5))
+
+
+class TestPolylines:
+    def test_crossing_chains(self):
+        a = [(0, 0), (10, 10)]
+        b = [(0, 10), (10, 0)]
+        assert polylines_intersect(a, b)
+
+    def test_disjoint_chains(self):
+        a = [(0, 0), (1, 0)]
+        b = [(0, 5), (1, 5)]
+        assert not polylines_intersect(a, b)
+
+    def test_single_points(self):
+        assert polylines_intersect([(1, 1)], [(1, 1)])
+        assert not polylines_intersect([(1, 1)], [(2, 2)])
+
+    def test_point_on_chain(self):
+        assert polylines_intersect([(5, 5)], [(0, 0), (10, 10)])
+
+    @given(
+        st.lists(point, min_size=2, max_size=5),
+        st.lists(point, min_size=2, max_size=5),
+    )
+    def test_symmetry(self, a, b):
+        assert polylines_intersect(a, b) == polylines_intersect(b, a)
+
+    @given(st.lists(point, min_size=2, max_size=6))
+    def test_chain_intersects_itself(self, chain):
+        assert polylines_intersect(chain, chain)

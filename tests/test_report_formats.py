@@ -1,0 +1,177 @@
+"""Smoke tests for every figure formatter and a few residual paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.model import DiskStats
+from repro.eval.adaptation import AdaptationResult, format_fig11
+from repro.eval.construction import (
+    BuddyRow,
+    ConstructionRow,
+    StorageRow,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+)
+from repro.eval.joins import (
+    CompleteJoinRow,
+    JoinOrgRow,
+    JoinTechniqueRow,
+    format_fig14,
+    format_fig16,
+    format_fig17,
+)
+from repro.eval.metrics import WorkloadAggregate
+from repro.eval.point import PointRow, format_fig12
+from repro.eval.table1 import Table1Row, format_table1
+from repro.eval.window import TechniqueRow, WindowRow, format_fig8, format_fig10
+from repro.join.multistep import JoinResult
+
+
+def agg(ms: float, data: int = 4096) -> WorkloadAggregate:
+    return WorkloadAggregate(queries=1, io_ms=ms, bytes_retrieved=data, answers=1)
+
+
+def join_result(ms: float) -> JoinResult:
+    return JoinResult(
+        candidate_pairs=10,
+        mbr_io=DiskStats(seek_ms=ms / 2),
+        transfer_io=DiskStats(seek_ms=ms / 2),
+    )
+
+
+class TestFormatters:
+    def test_table1(self):
+        out = format_table1(
+            [Table1Row("A-1", 100, 625, 620.0, 0.06, 80)], scale=0.1
+        )
+        assert "A-1" in out and "scale=0.1" in out
+
+    def test_fig5(self):
+        out = format_fig5([ConstructionRow("A-1", 1.0, 3.0, 1.1)])
+        assert "cluster org" in out
+
+    def test_fig6(self):
+        out = format_fig6([StorageRow("A-1", 100, 150, 220)])
+        assert "220" in out
+
+    def test_fig7(self):
+        out = format_fig7([BuddyRow("A-1", 220, 160, 150, 1.0, 1.1, 5)])
+        assert "moves" in out
+
+    def test_fig8(self):
+        row = WindowRow(
+            "A-1", 1e-3,
+            {"secondary": agg(100), "primary": agg(50), "cluster": agg(10)},
+        )
+        out = format_fig8([row])
+        assert "0.1%" in out
+        assert row.speedup_vs_secondary == pytest.approx(10.0)
+
+    def test_fig10(self):
+        row = TechniqueRow("C-1", 1e-5, {"complete": agg(30), "slm": agg(20)})
+        out = format_fig10([row])
+        assert "slm (ms/4KB)" in out
+
+    def test_fig10_empty(self):
+        assert "Figure 10" in format_fig10([])
+
+    def test_fig11(self):
+        out = format_fig11(
+            [AdaptationResult("slm", 1.0, 2.0, 3.0)]
+        )
+        assert "slm" in out
+
+    def test_fig12(self):
+        row = PointRow(
+            "A-1",
+            {"secondary": agg(100), "primary": agg(60), "cluster": agg(95)},
+        )
+        out = format_fig12([row])
+        assert row.cluster_vs_secondary == pytest.approx(0.95)
+        assert "cluster/sec" in out
+
+    def test_fig14(self):
+        row = JoinOrgRow(
+            "a", 200,
+            {"secondary": join_result(100), "primary": join_result(80),
+             "cluster": join_result(20)},
+        )
+        out = format_fig14([row])
+        assert row.speedup_vs_secondary == pytest.approx(5.0)
+        assert row.speedup_vs_primary == pytest.approx(4.0)
+        assert "MBR pairs" in out
+
+    def test_fig16(self):
+        row = JoinTechniqueRow(
+            "a", 200, {"complete": join_result(10), "optimum": join_result(5)}
+        )
+        assert "optimum (s)" in format_fig16([row])
+
+    def test_fig16_empty(self):
+        assert "Figure 16" in format_fig16([])
+
+    def test_fig17_includes_speedup_line(self):
+        rows = [
+            CompleteJoinRow("a", "secondary", 1.0, 10.0, 1.0),
+            CompleteJoinRow("a", "cluster", 1.0, 2.0, 1.0),
+        ]
+        out = format_fig17(rows)
+        assert "speedup" in out
+        assert "3.0x" in out  # 12/4
+
+
+class TestJoinResultProperties:
+    def test_io_and_total(self):
+        res = JoinResult(
+            mbr_io=DiskStats(seek_ms=100.0),
+            transfer_io=DiskStats(seek_ms=300.0),
+            exact_tests=2,
+            exact_ms=1.5,
+        )
+        assert res.io_ms == pytest.approx(400.0)
+        assert res.io_s == pytest.approx(0.4)
+        assert res.total_ms == pytest.approx(401.5)
+
+
+class TestResidualPaths:
+    def test_window_workload_full_space(self):
+        from repro.data.workload import window_workload
+        from tests.conftest import make_objects
+
+        objs = make_objects(20, seed=95, space=1000.0)
+        windows = window_workload(
+            objs, 1.0, n_queries=3, data_space=1000.0
+        )
+        for w in windows:
+            assert w.width == pytest.approx(1000.0)
+            assert w.xmin == 0.0
+
+    def test_sequential_write_then_read(self):
+        from repro.disk.model import DiskModel
+
+        disk = DiskModel()
+        disk.write(10, 2)
+        # Reading right after the write head position is sequential.
+        assert disk.read(12, 1) == 1.0
+
+    def test_context_smax_override_cached_separately(self):
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.context import ExperimentContext
+
+        ctx = ExperimentContext(ExperimentConfig(scale=0.003, seed=9))
+        a = ctx.org("cluster", "A-1")
+        b = ctx.org("cluster", "A-1", smax_bytes=10 * 4096)
+        assert a is not b
+        assert b.policy.smax_pages == 10
+
+    def test_region_of_expanded_map_shares_geometry(self):
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.context import ExperimentContext
+
+        ctx = ExperimentContext(ExperimentConfig(scale=0.003, seed=9))
+        plain = ctx.objects("A-1")
+        fat = ctx.objects("A-1", 2.0)
+        assert fat[0].geometry is plain[0].geometry
+        assert fat[0].mbr.contains(plain[0].mbr)

@@ -1,0 +1,222 @@
+"""Tests for R*-tree split, chooser criteria, capacity policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, TreeError
+from repro.geometry.rect import Rect
+from repro.rtree.capacity import ByteCapacity, CountCapacity, CountOrByteCapacity
+from repro.rtree.chooser import least_area_enlargement, least_overlap_enlargement
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.split import rstar_split
+
+
+def entries_from(rects: list[Rect]) -> list[Entry]:
+    return [Entry(r, oid=i) for i, r in enumerate(rects)]
+
+
+class TestSplit:
+    def test_preserves_entries(self):
+        entries = entries_from([Rect(i, 0, i + 1, 1) for i in range(10)])
+        g1, g2 = rstar_split(entries)
+        assert sorted(e.oid for e in g1 + g2) == list(range(10))
+        assert g1 and g2
+
+    def test_min_fill_respected(self):
+        entries = entries_from([Rect(i, 0, i + 1, 1) for i in range(100)])
+        g1, g2 = rstar_split(entries, min_fill_fraction=0.4)
+        assert min(len(g1), len(g2)) >= 40
+
+    def test_two_entries(self):
+        entries = entries_from([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)])
+        g1, g2 = rstar_split(entries)
+        assert len(g1) == len(g2) == 1
+
+    def test_single_entry_rejected(self):
+        with pytest.raises(TreeError):
+            rstar_split(entries_from([Rect(0, 0, 1, 1)]))
+
+    def test_separates_two_clusters(self):
+        left = [Rect(i, 0, i + 0.5, 1) for i in np.linspace(0, 5, 10)]
+        right = [Rect(i, 0, i + 0.5, 1) for i in np.linspace(100, 105, 10)]
+        entries = entries_from(left + right)
+        g1, g2 = rstar_split(entries)
+        xs1 = {e.rect.xmin for e in g1}
+        xs2 = {e.rect.xmin for e in g2}
+        assert max(xs1) < 50 < min(xs2) or max(xs2) < 50 < min(xs1)
+
+    def test_chooses_better_axis(self):
+        # Entries separated along y: the split must use the y axis.
+        bottom = [Rect(i, 0, i + 1, 1) for i in range(10)]
+        top = [Rect(i, 100, i + 1, 101) for i in range(10)]
+        g1, g2 = rstar_split(entries_from(bottom + top))
+        r1 = Rect.union_of(e.rect for e in g1)
+        r2 = Rect.union_of(e.rect for e in g2)
+        assert r1.overlap_area(r2) == 0.0
+
+    def test_identical_rects(self):
+        entries = entries_from([Rect(0, 0, 1, 1)] * 8)
+        g1, g2 = rstar_split(entries)
+        assert len(g1) + len(g2) == 8
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 10, allow_nan=False),
+                st.floats(0, 10, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    def test_partition_property(self, raw):
+        entries = entries_from([Rect(x, y, x + w, y + h) for x, y, w, h in raw])
+        g1, g2 = rstar_split(entries)
+        assert len(g1) + len(g2) == len(entries)
+        assert {id(e) for e in g1}.isdisjoint({id(e) for e in g2})
+        assert {id(e) for e in g1} | {id(e) for e in g2} == {id(e) for e in entries}
+
+
+class TestChooser:
+    def matrix(self, rects: list[Rect]) -> np.ndarray:
+        return np.array([r.as_tuple() for r in rects])
+
+    def test_area_picks_containing(self):
+        rects = [Rect(0, 0, 10, 10), Rect(20, 20, 21, 21)]
+        idx = least_area_enlargement(self.matrix(rects), Rect(1, 1, 2, 2))
+        assert idx == 0
+
+    def test_area_tie_breaks_by_area(self):
+        # Both need zero enlargement; the smaller one wins.
+        rects = [Rect(0, 0, 10, 10), Rect(0, 0, 5, 5)]
+        idx = least_area_enlargement(self.matrix(rects), Rect(1, 1, 2, 2))
+        assert idx == 1
+
+    def test_overlap_avoids_creating_overlap(self):
+        # Candidate 0 would have to grow across candidate 1's region;
+        # candidate 2 can take the rect with no new overlap.
+        rects = [Rect(0, 0, 4, 4), Rect(4, 0, 8, 4), Rect(8, 0, 12, 4)]
+        new = Rect(8.5, 1, 9, 2)
+        idx = least_overlap_enlargement(self.matrix(rects), new)
+        assert idx == 2
+
+    def test_overlap_single_entry(self):
+        assert least_overlap_enlargement(self.matrix([Rect(0, 0, 1, 1)]), Rect(2, 2, 3, 3)) == 0
+
+    def test_candidate_cap_still_valid(self):
+        rects = [Rect(i, 0, i + 1, 1) for i in range(50)]
+        idx = least_overlap_enlargement(self.matrix(rects), Rect(25.2, 0.2, 25.4, 0.4), candidates=4)
+        assert rects[idx].contains(Rect(25.2, 0.2, 25.4, 0.4))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50, allow_nan=False), st.floats(0, 50, allow_nan=False)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.tuples(st.floats(0, 50, allow_nan=False), st.floats(0, 50, allow_nan=False)),
+    )
+    def test_chooser_returns_valid_index(self, origins, new_origin):
+        rects = [Rect(x, y, x + 5, y + 5) for x, y in origins]
+        new = Rect(new_origin[0], new_origin[1], new_origin[0] + 1, new_origin[1] + 1)
+        m = self.matrix(rects)
+        assert 0 <= least_area_enlargement(m, new) < len(rects)
+        assert 0 <= least_overlap_enlargement(m, new) < len(rects)
+
+
+class TestCapacityPolicies:
+    def leaf_with(self, loads: list[int]) -> Node:
+        node = Node(0, 0)
+        for i, load in enumerate(loads):
+            node.add(Entry(Rect(i, 0, i + 1, 1), oid=i, load=load))
+        return node
+
+    def test_count_capacity(self):
+        policy = CountCapacity(3)
+        assert not policy.is_overflow(self.leaf_with([1, 1, 1]))
+        assert policy.is_overflow(self.leaf_with([1, 1, 1, 1]))
+
+    def test_count_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountCapacity(1)
+
+    def test_byte_capacity(self):
+        policy = ByteCapacity(100)
+        assert not policy.is_overflow(self.leaf_with([60, 40]))
+        assert policy.is_overflow(self.leaf_with([60, 41]))
+
+    def test_byte_capacity_single_entry_never_overflows(self):
+        policy = ByteCapacity(100)
+        assert not policy.is_overflow(self.leaf_with([5000]))
+
+    def test_byte_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            ByteCapacity(0)
+
+    def test_count_or_byte(self):
+        policy = CountOrByteCapacity(3, 100)
+        assert policy.is_overflow(self.leaf_with([1, 1, 1, 1]))  # count
+        assert policy.is_overflow(self.leaf_with([80, 30]))  # bytes
+        assert not policy.is_overflow(self.leaf_with([50, 30]))
+
+    def test_count_or_byte_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountOrByteCapacity(1, 100)
+        with pytest.raises(ConfigurationError):
+            CountOrByteCapacity(3, 0)
+
+
+class TestNode:
+    def test_add_sets_parent(self):
+        parent = Node(0, 1)
+        child = Node(1, 0)
+        parent.add(Entry(Rect(0, 0, 1, 1), child=child))
+        assert child.parent is parent
+
+    def test_entry_index_and_lookup(self):
+        parent = Node(0, 1)
+        children = [Node(i + 1, 0) for i in range(3)]
+        for i, c in enumerate(children):
+            parent.add(Entry(Rect(i, 0, i + 1, 1), child=c))
+        assert parent.entry_index(children[1]) == 1
+        assert parent.entry_for_child(children[2]).child is children[2]
+
+    def test_entry_index_missing_raises(self):
+        with pytest.raises(KeyError):
+            Node(0, 1).entry_index(Node(1, 0))
+
+    def test_mbr_and_load(self):
+        node = Node(0, 0)
+        node.add(Entry(Rect(0, 0, 1, 1), oid=1, load=10))
+        node.add(Entry(Rect(5, 5, 6, 6), oid=2, load=20))
+        assert node.mbr() == Rect(0, 0, 6, 6)
+        assert node.load() == 30
+
+    def test_rect_matrix_caches_and_patches(self):
+        node = Node(0, 0)
+        node.add(Entry(Rect(0, 0, 1, 1), oid=1))
+        m1 = node.rect_matrix()
+        assert m1.shape == (1, 4)
+        node.patch_rect(0, Rect(2, 2, 3, 3))
+        assert list(node.rect_matrix()[0]) == [2, 2, 3, 3]
+
+    def test_rect_matrix_rebuild_after_append(self):
+        node = Node(0, 0)
+        node.add(Entry(Rect(0, 0, 1, 1), oid=1))
+        node.rect_matrix()
+        node.add(Entry(Rect(9, 9, 10, 10), oid=2))
+        assert node.rect_matrix().shape == (2, 4)
+
+    def test_walk_preorder(self):
+        root = Node(0, 1)
+        a, b = Node(1, 0), Node(2, 0)
+        root.add(Entry(Rect(0, 0, 1, 1), child=a))
+        root.add(Entry(Rect(1, 1, 2, 2), child=b))
+        assert [n.node_id for n in root.walk()] == [0, 1, 2]
