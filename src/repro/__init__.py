@@ -20,6 +20,7 @@ Quick start::
     print(result.objects, result.io.total_ms)
 """
 
+from repro.buffer import POLICIES, BufferPool, LRUBuffer
 from repro.constants import (
     ENTRY_SIZE,
     LATENCY_TIME_MS,
@@ -49,6 +50,7 @@ from repro.storage import (
     QueryResult,
     SecondaryOrganization,
 )
+from repro.workload import WorkloadEngine, WorkloadReport, mixed_stream
 
 __version__ = "1.0.0"
 
@@ -67,6 +69,12 @@ __all__ = [
     "QueryResult",
     "JoinResult",
     "spatial_join",
+    "BufferPool",
+    "LRUBuffer",
+    "POLICIES",
+    "WorkloadEngine",
+    "WorkloadReport",
+    "mixed_stream",
     "DiskModel",
     "DiskParameters",
     "DiskStats",

@@ -8,21 +8,26 @@ Used in two places that the paper calls out explicitly:
 
 The buffer is policy-only: it tracks which keys (page numbers) are
 resident, evicts least-recently-used entries and reports hit/miss/evict
-statistics.  Actual I/O pricing stays with the caller, which knows
-whether a miss becomes part of a larger vectored read.
+statistics.  Actual I/O pricing stays with the caller — normally the
+:class:`~repro.buffer.pool.BufferPool`, which knows whether a miss
+becomes part of a larger vectored read.
+
+``LRUBuffer`` is the ``lru`` implementation of the
+:class:`~repro.buffer.policy.ReplacementPolicy` protocol; all the
+generic machinery lives in :class:`~repro.buffer.policy.PolicyBuffer`,
+this class only contributes the recency ordering.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Hashable, Iterable
+from typing import Hashable
 
-from repro.errors import ConfigurationError
+from repro.buffer.policy import PolicyBuffer
 
 __all__ = ["LRUBuffer"]
 
 
-class LRUBuffer:
+class LRUBuffer(PolicyBuffer):
     """A fixed-capacity LRU cache of hashable keys.
 
     Parameters
@@ -34,85 +39,10 @@ class LRUBuffer:
         entry — write-back caches use it to flush dirty pages.
     """
 
-    __slots__ = ("capacity", "on_evict", "_entries", "hits", "misses", "evictions")
+    policy = "lru"
 
-    def __init__(
-        self,
-        capacity: int,
-        on_evict: Callable[[Hashable, bool], None] | None = None,
-    ):
-        if capacity < 1:
-            raise ConfigurationError(f"buffer capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self.on_evict = on_evict
-        self._entries: OrderedDict[Hashable, bool] = OrderedDict()  # key -> dirty
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+    def _note_hit(self, key: Hashable) -> None:
+        self._entries.move_to_end(key)
 
-    # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
-
-    def access(self, key: Hashable) -> bool:
-        """Touch ``key``; returns True on a hit.  A miss does *not* admit
-        the key (the caller decides what a miss loads — see vector read
-        semantics in Section 6.2)."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
-
-    def admit(self, key: Hashable, dirty: bool = False) -> None:
-        """Insert or refresh ``key`` as most recently used, evicting the
-        least recently used entries when over capacity."""
-        if key in self._entries:
-            self._entries[key] = self._entries[key] or dirty
-            self._entries.move_to_end(key)
-            return
-        self._entries[key] = dirty
-        while len(self._entries) > self.capacity:
-            old_key, old_dirty = self._entries.popitem(last=False)
-            self.evictions += 1
-            if self.on_evict is not None:
-                self.on_evict(old_key, old_dirty)
-
-    def admit_all(self, keys: Iterable[Hashable], dirty: bool = False) -> None:
-        for key in keys:
-            self.admit(key, dirty)
-
-    def mark_dirty(self, key: Hashable) -> None:
-        """Flag a resident key as dirty (no-op for absent keys)."""
-        if key in self._entries:
-            self._entries[key] = True
-            self._entries.move_to_end(key)
-
-    def discard(self, key: Hashable) -> None:
-        """Drop a key without invoking the eviction callback."""
-        self._entries.pop(key, None)
-
-    def flush(self) -> list[Hashable]:
-        """Evict everything (calling the callback for dirty entries);
-        returns the keys that were dirty."""
-        dirty_keys = [k for k, dirty in self._entries.items() if dirty]
-        if self.on_evict is not None:
-            for key, dirty in list(self._entries.items()):
-                self.on_evict(key, dirty)
-        self._entries.clear()
-        return dirty_keys
-
-    # ------------------------------------------------------------------
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+    def _select_victim(self) -> Hashable:
+        return next(iter(self._entries))

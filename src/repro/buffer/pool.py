@@ -1,0 +1,314 @@
+"""The shared buffer pool: residency, write-back and I/O pricing.
+
+Historically every layer of the reproduction priced I/O on its own —
+the R*-tree pager kept a private LRU buffer, the spatial join carried
+its own buffer wiring, and each organization talked to the
+:class:`~repro.disk.model.DiskModel` directly.  :class:`BufferPool`
+unifies those paths: it owns page residency (behind a pluggable
+:class:`~repro.buffer.policy.ReplacementPolicy`), defers dirty-page
+write-back, coalesces adjacent page requests into single vectored
+transfers, and prices everything against one disk model.
+
+Two operating modes matter:
+
+* **pass-through** (``capacity=0``, the measurement-mode default of the
+  organizations): no frames are kept, every request is priced exactly
+  as a direct disk request — the pool is a pure accounting funnel, so
+  the paper's cold-query figures are unchanged;
+* **caching** (``capacity > 0``): frames absorb repeated reads, writes
+  become write-back, and the read scheduler transfers only the missing
+  runs of a request.
+
+The pool can also *adopt* an existing replacement buffer (``store=``),
+which keeps the historical ``MBRJoin(…, disk, LRUBuffer(n))`` call
+shape working: the caller's buffer becomes the pool's frame table.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.buffer.policy import ReplacementPolicy, make_buffer, policy_name
+from repro.disk.extent import Extent
+from repro.disk.model import DiskModel, DiskStats
+from repro.errors import ConfigurationError
+
+__all__ = ["BufferPool", "coalesce_pages"]
+
+
+def coalesce_pages(pages: Sequence[int]) -> list[tuple[int, int]]:
+    """Merge sorted distinct page numbers into ``(start, npages)`` runs
+    of physically consecutive pages — the vectored-transfer schedule of
+    the read/write coalescing scheduler."""
+    runs: list[tuple[int, int]] = []
+    for page in pages:
+        if runs and page == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            if runs and page < runs[-1][0] + runs[-1][1]:
+                raise ConfigurationError("pages must be sorted and distinct")
+            runs.append((page, 1))
+    return runs
+
+
+class BufferPool:
+    """A buffer pool over one :class:`~repro.disk.model.DiskModel`.
+
+    Parameters
+    ----------
+    disk:
+        The disk cost model every transfer is priced against.
+    capacity:
+        Number of page frames.  ``0`` (default) selects pass-through
+        mode: no residency, every request priced directly.
+    policy:
+        Replacement policy name (``lru`` / ``fifo`` / ``clock`` /
+        ``lru-k``) used to build the frame table when ``capacity > 0``.
+    store:
+        An existing replacement buffer to adopt as the frame table
+        (overrides ``capacity``/``policy``).  ``None`` entries written
+        back on eviction go through this pool's disk.
+    """
+
+    __slots__ = ("disk", "frames", "hits", "misses")
+
+    def __init__(
+        self,
+        disk: DiskModel,
+        capacity: int = 0,
+        policy: str = "lru",
+        store: ReplacementPolicy | None = None,
+    ):
+        if capacity < 0:
+            raise ConfigurationError(f"pool capacity must be >= 0, got {capacity}")
+        self.disk = disk
+        if store is not None:
+            self.frames: ReplacementPolicy | None = store
+        elif capacity > 0:
+            self.frames = make_buffer(policy, capacity)
+        else:
+            self.frames = None
+        if self.frames is not None and self.frames.on_evict is None:
+            self.frames.on_evict = self._write_back_victim
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, page: Hashable) -> bool:
+        return self.frames is not None and page in self.frames
+
+    def __len__(self) -> int:
+        return len(self.frames) if self.frames is not None else 0
+
+    @property
+    def capacity(self) -> int:
+        return self.frames.capacity if self.frames is not None else 0
+
+    @property
+    def params(self):
+        """The underlying disk's timing constants (the query techniques
+        read ``params.slm_gap_pages`` through the pool)."""
+        return self.disk.params
+
+    @property
+    def policy(self) -> str:
+        """Replacement policy name ('none' in pass-through mode)."""
+        return policy_name(self.frames) if self.frames is not None else "none"
+
+    @property
+    def evictions(self) -> int:
+        return self.frames.evictions if self.frames is not None else 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> DiskStats:
+        """Snapshot of the underlying disk statistics."""
+        return self.disk.stats()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        if self.frames is not None:
+            self.frames.reset_stats()
+
+    # ------------------------------------------------------------------
+    # residency primitives
+    # ------------------------------------------------------------------
+    def _write_back_victim(self, page: Hashable, dirty: bool) -> None:
+        if dirty:
+            assert isinstance(page, int)
+            self.disk.write(page, 1)
+
+    def access(self, page: int) -> bool:
+        """Touch a page; returns True on a hit.  Counts hit/miss, never
+        admits and never prices."""
+        if self.frames is not None and self.frames.access(page):
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, page: int, dirty: bool = False) -> None:
+        """Make a page resident without pricing a transfer (the caller
+        already accounted it).  In pass-through mode a dirty admit is an
+        immediate write (there is nowhere to hold the page)."""
+        if self.frames is None:
+            if dirty:
+                self.disk.write(page, 1)
+            return
+        self.frames.admit(page, dirty)
+
+    def admit_all(self, pages: Iterable[int], dirty: bool = False) -> None:
+        for page in pages:
+            self.admit(page, dirty)
+
+    def mark_dirty(self, page: int) -> None:
+        if self.frames is not None:
+            self.frames.mark_dirty(page)
+
+    def discard(self, page: int) -> None:
+        """Drop a page without write-back (e.g. its extent was freed)."""
+        if self.frames is not None:
+            self.frames.discard(page)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, page: int, continuation: bool = False) -> bool:
+        """Single-page read through the pool: a hit is free, a miss is
+        priced and admitted.  Returns True on a hit."""
+        if self.access(page):
+            return True
+        self.disk.read(page, 1, continuation)
+        self.admit(page)
+        return False
+
+    def read(self, start: int, npages: int = 1, continuation: bool = False) -> float:
+        """Vectored read of ``npages`` consecutive pages with
+        coalescing: resident pages are hits, the missing pages are
+        merged into runs of adjacent pages, each transferred with one
+        request (follow-up runs are priced as continuations).  Returns
+        the priced cost in milliseconds."""
+        if self.frames is None:
+            self.misses += npages
+            return self.disk.read(start, npages, continuation)
+        missing: list[int] = []
+        for page in range(start, start + npages):
+            if self.frames.access(page):
+                self.hits += 1
+            else:
+                self.misses += 1
+                missing.append(page)
+        cost = 0.0
+        first = True
+        for run_start, run_pages in coalesce_pages(missing):
+            cost += self.disk.read(
+                run_start, run_pages, continuation if first else True
+            )
+            first = False
+        self.frames.admit_all(missing)
+        return cost
+
+    def read_extent(self, extent: Extent, continuation: bool = False) -> float:
+        return self.read(extent.start, extent.npages, continuation)
+
+    def fetch(
+        self,
+        start: int,
+        npages: int = 1,
+        continuation: bool = False,
+        admit: bool = True,
+    ) -> float:
+        """Unconditional single-request transfer of a whole run (a
+        vectored read that ignores residency — e.g. an object extent
+        fetched in one request even when parts are buffered).  Admits
+        all transferred pages unless ``admit=False``."""
+        cost = self.disk.read(start, npages, continuation)
+        if admit:
+            self.admit_all(range(start, start + npages))
+        return cost
+
+    def fetch_extent(self, extent: Extent, continuation: bool = False) -> float:
+        return self.fetch(extent.start, extent.npages, continuation)
+
+    def read_pages(self, pages: Sequence[int]) -> float:
+        """Read a sorted set of (not necessarily adjacent) pages through
+        the coalescing scheduler: missing pages are merged into adjacent
+        runs; the first run pays a fresh request, follow-ups a
+        continuation."""
+        missing = []
+        for page in pages:
+            if not self.access(page):
+                missing.append(page)
+        cost = 0.0
+        first = True
+        for run_start, run_pages in coalesce_pages(missing):
+            cost += self.disk.read(run_start, run_pages, continuation=not first)
+            first = False
+        self.admit_all(missing)
+        return cost
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, start: int, npages: int = 1, continuation: bool = False) -> float:
+        """Write ``npages`` consecutive pages.  With frames the pages
+        are admitted dirty (write-back: priced on eviction or flush);
+        in pass-through mode the request is priced immediately."""
+        if self.frames is None:
+            return self.disk.write(start, npages, continuation)
+        self.frames.admit_all(range(start, start + npages), dirty=True)
+        return 0.0
+
+    def write_extent(self, extent: Extent, continuation: bool = False) -> float:
+        return self.write(extent.start, extent.npages, continuation)
+
+    # ------------------------------------------------------------------
+    # write-back / lifecycle
+    # ------------------------------------------------------------------
+    def write_back(self) -> float:
+        """Write all dirty frames back, coalescing adjacent dirty pages
+        into single vectored transfers; frames stay resident (marked
+        clean).  Returns the priced cost."""
+        if self.frames is None:
+            return 0.0
+        dirty = sorted(self.frames.dirty_keys())
+        cost = 0.0
+        for run_start, run_pages in coalesce_pages(dirty):
+            cost += self.disk.write(run_start, run_pages)
+        for page in dirty:
+            self.frames.mark_clean(page)
+        return cost
+
+    def flush(self, coalesce: bool = False) -> float:
+        """Write back every dirty frame and drop all residency.
+
+        ``coalesce=False`` (default) replays the historical
+        page-at-a-time eviction stream in recency order — the pricing
+        the construction figures were calibrated against;
+        ``coalesce=True`` uses the vectored write-back scheduler first.
+        """
+        if self.frames is None:
+            return 0.0
+        before = self.disk.total_ms
+        if coalesce:
+            self.write_back()
+        self.frames.flush()
+        return self.disk.total_ms - before
+
+    def invalidate(self) -> None:
+        """Drop all frames *without* write-back (start a cold phase)."""
+        if self.frames is not None:
+            self.frames.clear()
+
+    # ------------------------------------------------------------------
+    # delegation
+    # ------------------------------------------------------------------
+    def charge(self, seeks: int = 0, rotations: int = 0, pages: int = 0) -> float:
+        """Account an analytic cost on the underlying disk."""
+        return self.disk.charge(seeks=seeks, rotations=rotations, pages=pages)

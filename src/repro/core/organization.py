@@ -123,7 +123,7 @@ class ClusterOrganization(SpatialOrganization):
                 self.pages_for(obj.size_bytes)
             )
             self._oversize[obj.oid] = extent
-            self.disk.write_extent(extent)
+            self.pool.write_extent(extent)
             return extent
         return None  # placed by the entry-added hook, which knows the leaf
 
@@ -131,6 +131,7 @@ class ClusterOrganization(SpatialOrganization):
         extent = self._oversize.pop(obj.oid, None)
         if extent is not None:
             self._oversize_region.free(extent)
+            self._drop_frames(extent)
         self._total_object_bytes -= obj.size_bytes
         unit = self._unit_of.pop(obj.oid, None)
         if unit is not None:
@@ -142,6 +143,7 @@ class ClusterOrganization(SpatialOrganization):
         """Give an empty unit's physical extent back and detach it from
         its data page."""
         self._unit_alloc.free(unit.extent)
+        self._drop_frames(unit.extent)
         if unit.owner is not None and unit.owner.tag is unit:
             unit.owner.tag = None
         unit.owner = None
@@ -166,11 +168,11 @@ class ClusterOrganization(SpatialOrganization):
         """Compact a unit in place (read + write of its used pages)."""
         used = self._priced_pages(unit)
         if used:
-            self.disk.read(unit.extent.start, used)
+            self.pool.read(unit.extent.start, used)
         unit.repack()
         used = self._priced_pages(unit)
         if used:
-            self.disk.write(unit.extent.start, used)
+            self.pool.write(unit.extent.start, used)
 
     def _grow_unit(self, unit: ClusterUnit, needed_bytes: int) -> None:
         """Move a unit into a larger buddy (Section 5.3.1): read it,
@@ -179,14 +181,15 @@ class ClusterOrganization(SpatialOrganization):
             raise StorageError("only buddy-backed units can grow")
         used = self._priced_pages(unit)
         if used:
-            self.disk.read(unit.extent.start, used)
+            self.pool.read(unit.extent.start, used)
         unit.repack()
         pages = max(1, -(-needed_bytes // self.page_size))
         pages = min(pages, self.policy.smax_pages)
+        self._drop_frames(unit.extent)
         unit.extent = self._unit_alloc.grow(unit.extent, pages)
         used = self._priced_pages(unit)
         if used:
-            self.disk.write(unit.extent.start, used)
+            self.pool.write(unit.extent.start, used)
 
     def _on_entry_added(self, leaf: Node, entry: Entry) -> None:
         """Step 3 of the insertion algorithm (Section 4.2.2): append the
@@ -203,7 +206,7 @@ class ClusterOrganization(SpatialOrganization):
             # Relocation (deletion-time condensation moved the entry):
             # the object is read from its old unit and appended anew.
             start, npages = old_unit.page_span(oid)
-            self.disk.read(old_unit.extent.start + start, npages)
+            self.pool.read(old_unit.extent.start + start, npages)
             old_unit.remove(oid)
             if not old_unit.live:
                 self._free_unit(old_unit)
@@ -231,7 +234,7 @@ class ClusterOrganization(SpatialOrganization):
         if completed > 0:
             first = min(start_rel, unit.extent.npages - 1)
             count = min(completed, unit.extent.npages - first)
-            self.disk.write(unit.extent.start + first, max(1, count))
+            self.pool.write(unit.extent.start + first, max(1, count))
 
     def _on_leaf_split(self, old_leaf: Node, new_leaf: Node) -> None:
         """The cluster split (Section 4.2.2 step 4): the old unit is
@@ -251,7 +254,7 @@ class ClusterOrganization(SpatialOrganization):
         if old_unit is not None and old_unit.live:
             used = self._priced_pages(old_unit)
             if used:
-                self.disk.read(old_unit.extent.start, used)
+                self.pool.read(old_unit.extent.start, used)
 
         def in_unit_oids(leaf: Node) -> list[int]:
             return [
@@ -273,7 +276,7 @@ class ClusterOrganization(SpatialOrganization):
             new_leaf.tag = unit
             used = self._priced_pages(unit)
             if used:
-                self.disk.write(unit.extent.start, used)
+                self.pool.write(unit.extent.start, used)
         else:
             new_leaf.tag = None
 
@@ -294,10 +297,11 @@ class ClusterOrganization(SpatialOrganization):
             target_level = self._unit_alloc.level_for(pages)
             if self._unit_alloc.sizes[target_level] < old_unit.extent.npages:
                 self._unit_alloc.free(old_unit.extent)
+                self._drop_frames(old_unit.extent)
                 old_unit.extent = self._unit_alloc.allocate(pages)
                 used = self._priced_pages(old_unit)
                 if used:
-                    self.disk.write(old_unit.extent.start, used)
+                    self.pool.write(old_unit.extent.start, used)
 
     # ------------------------------------------------------------------
     # retrieval: the query techniques of Section 5.4
@@ -325,7 +329,7 @@ class ClusterOrganization(SpatialOrganization):
                 assert entry.oid is not None
                 extent = self._oversize.get(entry.oid)
                 if extent is not None:
-                    self.disk.read_extent(extent)
+                    self.pool.read_extent(extent)
                     candidates.append(self.objects[entry.oid])
                 else:
                     in_unit.append(entry.oid)
@@ -357,7 +361,7 @@ class ClusterOrganization(SpatialOrganization):
             # Figure 12 shows "almost no difference" between the two.
             for oid in oids:
                 start, npages = unit.page_span(oid)
-                self.disk.read(unit.extent.start + start, npages)
+                self.pool.read(unit.extent.start + start, npages)
             return
         technique = self.technique
         if technique == "threshold" and window is not None:
@@ -369,9 +373,9 @@ class ClusterOrganization(SpatialOrganization):
                 self.disk.params,
             )
             if region.overlap_fraction(window) >= threshold:
-                read_complete(self.disk, unit)
+                read_complete(self.pool, unit)
             else:
-                read_per_object(self.disk, unit, oids)
+                read_per_object(self.pool, unit, oids)
         elif technique == "adaptive":
             # Extension beyond the paper: the filter step already knows
             # exactly how many objects the unit must deliver.
@@ -381,17 +385,17 @@ class ClusterOrganization(SpatialOrganization):
                 self._avg_pages_per_object(),
                 self.disk.params,
             ):
-                read_complete(self.disk, unit)
+                read_complete(self.pool, unit)
             else:
-                read_per_object(self.disk, unit, oids)
+                read_per_object(self.pool, unit, oids)
         elif technique == "complete" or technique == "threshold":
-            read_complete(self.disk, unit)
+            read_complete(self.pool, unit)
         elif technique == "page":
-            read_per_object(self.disk, unit, oids)
+            read_per_object(self.pool, unit, oids)
         elif technique == "slm":
-            read_slm(self.disk, unit, oids)
+            read_slm(self.pool, unit, oids)
         elif technique == "optimum":
-            read_optimum(self.disk, unit, oids)
+            read_optimum(self.pool, unit, oids)
         else:  # pragma: no cover - guarded in __init__
             raise ConfigurationError(f"unknown technique {technique}")
 

@@ -25,10 +25,16 @@ follow-ups inside the unit pay a rotational delay only.
 
 from __future__ import annotations
 
+from repro.buffer.pool import BufferPool
 from repro.disk.model import DiskModel
 from repro.disk.params import DiskParameters
 from repro.core.unit import ClusterUnit
 from repro.errors import ConfigurationError
+
+#: Anything with a ``read(start, npages, continuation)`` request surface:
+#: the raw disk model, or (normally) the shared buffer pool, which skips
+#: resident pages and coalesces the rest into vectored transfers.
+PageReader = DiskModel | BufferPool
 
 __all__ = [
     "TECHNIQUES",
@@ -118,7 +124,7 @@ def adaptive_prefers_complete(
 # ----------------------------------------------------------------------
 # pricing helpers: each returns the relative page runs it transferred
 # ----------------------------------------------------------------------
-def read_complete(disk: DiskModel, unit: ClusterUnit) -> list[tuple[int, int]]:
+def read_complete(disk: PageReader, unit: ClusterUnit) -> list[tuple[int, int]]:
     """Transfer the whole unit with a single request."""
     used = unit.used_pages
     if used == 0:
@@ -128,36 +134,47 @@ def read_complete(disk: DiskModel, unit: ClusterUnit) -> list[tuple[int, int]]:
 
 
 def read_per_object(
-    disk: DiskModel, unit: ClusterUnit, oids: list[int]
+    disk: PageReader, unit: ClusterUnit, oids: list[int]
 ) -> list[tuple[int, int]]:
     """Object-by-object access: one seek positions the head on the
     unit, then every object pays a rotational delay plus its transfer
-    (the ``t_page`` model of Section 5.4.1)."""
+    (the ``t_page`` model of Section 5.4.1).
+
+    The seek is charged by the first access that actually transfers:
+    behind a warm buffer pool an access may be absorbed entirely by
+    resident pages (cost 0), and a request that never positioned the
+    head must not hand the continuation discount to its successors."""
     runs: list[tuple[int, int]] = []
     first = True
     for oid in oids:
         start, npages = unit.page_span(oid)
-        disk.read(unit.extent.start + start, npages, continuation=not first)
-        first = False
+        cost = disk.read(unit.extent.start + start, npages, continuation=not first)
+        if cost:
+            first = False
         runs.append((start, npages))
     return runs
 
 
 def read_slm(
-    disk: DiskModel, unit: ClusterUnit, oids: list[int]
+    disk: PageReader, unit: ClusterUnit, oids: list[int]
 ) -> list[tuple[int, int]]:
-    """SLM read schedule over the pages of the requested objects."""
+    """SLM read schedule over the pages of the requested objects.
+
+    As in :func:`read_per_object`, only a run that actually transferred
+    (non-zero cost behind a warm pool) unlocks the continuation
+    discount for the following runs."""
     requested = unit.requested_pages(oids)
     runs = slm_schedule(requested, disk.params.slm_gap_pages)
     first = True
     for start, npages in runs:
-        disk.read(unit.extent.start + start, npages, continuation=not first)
-        first = False
+        cost = disk.read(unit.extent.start + start, npages, continuation=not first)
+        if cost:
+            first = False
     return runs
 
 
 def read_optimum(
-    disk: DiskModel, unit: ClusterUnit, oids: list[int]
+    disk: PageReader, unit: ClusterUnit, oids: list[int]
 ) -> list[tuple[int, int]]:
     """Analytic lower bound: one seek, one rotational delay, and only
     the requested pages transferred (Section 5.4.3)."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.buffer.pool import BufferPool
 from repro.constants import PAGE_CAPACITY, PAGE_SIZE
 from repro.core.organization import ClusterOrganization
 from repro.core.policy import ClusterPolicy, smax_bytes_for
@@ -188,6 +189,7 @@ class SpatialDatabase:
         buffer_pages: int = 1600,
         technique: str = "complete",
         evaluate_exact: bool = False,
+        policy: str = "lru",
     ) -> JoinResult:
         """Intersection join with another database on the same disk."""
         return spatial_join(
@@ -196,7 +198,35 @@ class SpatialDatabase:
             buffer_pages=buffer_pages,
             technique=technique,
             evaluate_exact=evaluate_exact,
+            policy=policy,
         )
+
+    # ------------------------------------------------------------------
+    # batched workloads
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        operations,
+        buffer_pages: int = 1600,
+        policy: str = "lru",
+    ):
+        """Execute a batched mixed operation stream through one shared
+        buffer pool and report per-phase I/O statistics and hit rates.
+
+        ``operations`` is an iterable of tuples — see
+        :data:`repro.workload.engine.OP_KINDS` for the formats
+        (``("window", Rect)``, ``("point", x, y)``,
+        ``("insert", SpatialObject)``, ``("delete", oid)``,
+        ``("join", other_db[, technique])``).  All phases — queries,
+        updates and joins — compete for the same ``buffer_pages`` frames
+        under the chosen replacement ``policy``; dirty pages are written
+        back with coalesced vectored transfers in a final ``flush``
+        phase.  Returns a :class:`~repro.workload.engine.WorkloadReport`.
+        """
+        from repro.workload.engine import WorkloadEngine
+
+        pool = BufferPool(self.disk, capacity=buffer_pages, policy=policy)
+        return WorkloadEngine(self.storage, pool).run(operations)
 
     def attach(self, name: str, **kwargs) -> "SpatialDatabase":
         """A second database (relation) on this database's disk — the

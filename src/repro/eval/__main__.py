@@ -3,11 +3,17 @@
 ::
 
     python -m repro.eval [--scale 0.08] [--only fig8,fig12,...]
+    python -m repro.eval workload [--policies lru,clock] [--scale 0.02]
 
-Regenerates every table and figure of the paper in sequence and prints
-the report tables.  Individual experiments can be selected with
-``--only`` (names: table1, fig5, fig6, fig7, fig8, fig10, fig11,
-fig12, fig14, fig16, fig17).
+The default mode regenerates every table and figure of the paper in
+sequence and prints the report tables; individual experiments can be
+selected with ``--only`` (names: table1, fig5, fig6, fig7, fig8,
+fig10, fig11, fig12, fig14, fig16, fig17).
+
+The ``workload`` subcommand runs a batched mixed operation stream
+(window queries, point queries, inserts, deletes and a spatial join)
+through the shared buffer pool under one or more replacement policies
+and prints per-phase I/O statistics and hit rates.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ from repro.eval.joins import (
     run_fig17_complete_join,
 )
 from repro.eval.point import format_fig12, run_fig12_points
-from repro.eval.report import format_header
+from repro.eval.report import format_header, format_table
 from repro.eval.table1 import format_table1, run_table1
 from repro.eval.window import (
     format_fig8,
@@ -60,7 +66,121 @@ EXPERIMENTS = {
 }
 
 
+def workload_main(argv: list[str]) -> int:
+    """The ``workload`` subcommand: batched mixed streams over the
+    shared buffer pool, under one or more replacement policies."""
+    from repro.buffer.policy import POLICIES
+    from repro.data.tiger import generate_map
+    from repro.database import SpatialDatabase
+    from repro.workload.streams import mixed_stream
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval workload",
+        description="Run a batched mixed workload through the shared "
+        "buffer pool and report per-phase I/O and hit rates.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale in (0, 1] (default: REPRO_SCALE or 0.08)",
+    )
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument(
+        "--series", type=str, default="A-1", help="Table 1 series (default A-1)"
+    )
+    parser.add_argument(
+        "--organization", type=str, default="cluster",
+        help="cluster / secondary / primary (default cluster)",
+    )
+    parser.add_argument(
+        "--buffer-pages", type=int, default=400,
+        help="shared pool size in page frames (default 400)",
+    )
+    parser.add_argument(
+        "--policies", type=str, default="lru,clock",
+        help=f"comma-separated replacement policies (valid: {', '.join(POLICIES)})",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=60,
+        help="window and point queries each (default 60)",
+    )
+    parser.add_argument(
+        "--no-join", action="store_true",
+        help="skip the spatial-join operation at the end of the stream",
+    )
+    args = parser.parse_args(argv)
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        parser.error(f"unknown policies: {unknown}; valid: {tuple(POLICIES)}")
+
+    if args.scale is not None:
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    else:
+        config = ExperimentConfig(seed=args.seed)
+    spec = config.spec(args.series)
+    objects = generate_map(spec, seed=config.seed)
+    # Hold the tail of the map out of the build: the stream inserts it.
+    held_out = max(1, len(objects) // 50)
+    resident, incoming = objects[:-held_out], objects[-held_out:]
+
+    print(
+        format_header(
+            f"batched workload — {args.organization} organization, "
+            f"{args.series} (scale={config.scale}), "
+            f"{args.buffer_pages}-page pool"
+        )
+    )
+    summary: list[tuple[str, float, float]] = []
+    for policy in policies:
+        db_kwargs = dict(organization=args.organization, name="r")
+        if args.organization == "cluster":
+            db_kwargs["smax_bytes"] = spec.smax_bytes
+        db = SpatialDatabase(**db_kwargs)
+        db.build(resident)
+        join_target = None
+        if not args.no_join:
+            other_key = f"{args.series[:-1]}2" if args.series.endswith("1") else args.series
+            other_spec = config.spec(other_key)
+            attach_kwargs = dict(organization=args.organization)
+            if args.organization == "cluster":
+                attach_kwargs["smax_bytes"] = other_spec.smax_bytes
+            join_target = db.attach("s", **attach_kwargs)
+            join_target.build(
+                generate_map(other_spec, seed=config.seed, id_offset=10_000_000)
+            )
+        stream = mixed_stream(
+            resident,
+            n_windows=args.queries,
+            n_points=args.queries,
+            inserts=incoming,
+            deletes=[o.oid for o in resident[: held_out // 2]],
+            join_with=join_target,
+            seed=config.seed + 17,
+        )
+        report = db.run_workload(
+            stream, buffer_pages=args.buffer_pages, policy=policy
+        )
+        print()
+        print(report.format())
+        summary.append((policy, report.hit_rate, report.total_io.total_ms))
+
+    print()
+    print(
+        format_table(
+            ("policy", "hit rate", "total io ms"),
+            [(p, f"{h:.1%}", ms) for p, h, ms in summary],
+            title="policy comparison",
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "workload":
+        return workload_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Reproduce the paper's tables and figures.",

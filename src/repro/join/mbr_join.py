@@ -19,7 +19,8 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.buffer.lru import LRUBuffer
+from repro.buffer.policy import ReplacementPolicy
+from repro.buffer.pool import BufferPool
 from repro.disk.model import DiskModel
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
@@ -59,36 +60,37 @@ class MBRJoin:
     tree_r, tree_s:
         The two indexes (any heights; unequal heights are handled by
         descending only the taller side).
-    disk:
-        The shared disk model pricing page reads.
-    buffer:
-        The shared LRU buffer (tree pages and, later, object pages
-        compete for the same frames, as in Section 6.1).
+    pool:
+        The shared :class:`~repro.buffer.pool.BufferPool` — tree pages
+        and, later, object pages compete for the same frames, as in
+        Section 6.1.  For backward compatibility the pool may also be
+        given as a ``(disk, replacement buffer)`` pair, which the join
+        wraps into a pool on the spot.
     """
 
     def __init__(
         self,
         tree_r: RStarTree,
         tree_s: RStarTree,
-        disk: DiskModel,
-        buffer: LRUBuffer,
+        pool: BufferPool | DiskModel,
+        buffer: ReplacementPolicy | None = None,
     ):
         self.tree_r = tree_r
         self.tree_s = tree_s
-        self.disk = disk
-        self.buffer = buffer
+        if isinstance(pool, BufferPool):
+            self.pool = pool
+        else:
+            self.pool = BufferPool(pool, store=buffer)
         self.node_accesses = 0
         self.candidate_pairs = 0
 
     # ------------------------------------------------------------------
     def _access(self, node: Node) -> None:
-        """Price one node access through the shared buffer."""
+        """Price one node access through the shared pool."""
         self.node_accesses += 1
         if node.page is None:
             return
-        if not self.buffer.access(node.page):
-            self.disk.read(node.page, 1)
-            self.buffer.admit(node.page)
+        self.pool.get(node.page)
 
     # ------------------------------------------------------------------
     def run(self) -> Iterator[LeafGroup]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.buffer.lru import LRUBuffer
+from repro.buffer.pool import BufferPool
 from repro.constants import EXACT_TEST_MS
 from repro.disk.model import DiskStats
 from repro.errors import ConfigurationError
@@ -66,6 +66,8 @@ def spatial_join(
     technique: str = "complete",
     evaluate_exact: bool = False,
     exact_test_ms: float = EXACT_TEST_MS,
+    policy: str = "lru",
+    pool: BufferPool | None = None,
 ) -> JoinResult:
     """Run the intersection join between two organizations.
 
@@ -75,7 +77,7 @@ def spatial_join(
     Parameters
     ----------
     buffer_pages:
-        LRU buffer size shared by tree and object pages (the x-axis of
+        Buffer-pool size shared by tree and object pages (the x-axis of
         Figures 14/16: 200 … 6400 pages).
     technique:
         Cluster-unit transfer technique (Figure 16): ``complete``,
@@ -84,6 +86,12 @@ def spatial_join(
         When true, the exact geometry predicate is actually executed and
         ``result_pairs`` reports the true join cardinality.  The 0.75 ms
         CPU model cost is accounted either way.
+    policy:
+        Replacement policy of the join's buffer pool (``lru`` — the
+        paper's setting — ``fifo``, ``clock`` or ``lru-k``).
+    pool:
+        An externally owned shared pool (e.g. the workload engine's);
+        overrides ``buffer_pages``/``policy``.
     """
     if org_r.disk is not org_s.disk:
         raise ConfigurationError(
@@ -94,16 +102,18 @@ def spatial_join(
             f"unknown join technique '{technique}'; valid: {JOIN_TECHNIQUES}"
         )
     disk = org_r.disk
-    buffer = LRUBuffer(buffer_pages)
-    join = MBRJoin(org_r.tree, org_s.tree, disk, buffer)
-    transfer_r = ObjectTransfer(org_r, disk, buffer, technique)
-    transfer_s = ObjectTransfer(org_s, disk, buffer, technique)
+    if pool is None:
+        pool = BufferPool(disk, capacity=buffer_pages, policy=policy)
+    join = MBRJoin(org_r.tree, org_s.tree, pool)
+    transfer_r = ObjectTransfer(org_r, pool, technique=technique)
+    transfer_s = ObjectTransfer(org_s, pool, technique=technique)
     counter = ExactTestCounter(exact_test_ms)
 
     result = JoinResult()
     if evaluate_exact:
         result.result_pairs = 0
     start = disk.stats()
+    hits_before, misses_before = pool.hits, pool.misses
 
     for leaf_r, leaf_s, pairs in join.run():
         before = disk.stats()
@@ -125,5 +135,7 @@ def spatial_join(
     result.exact_tests = counter.tests
     result.exact_ms = counter.cost_ms
     result.node_accesses = join.node_accesses
-    result.buffer_hit_rate = buffer.hit_rate
+    hits = pool.hits - hits_before
+    misses = pool.misses - misses_before
+    result.buffer_hit_rate = hits / (hits + misses) if hits + misses else 0.0
     return result

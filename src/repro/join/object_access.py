@@ -2,7 +2,7 @@
 
 Unlike a window query, the join "may read an object in an unpredictable
 manner many times", so every organization fetches exact representations
-*through the shared LRU buffer*.  The cluster organization additionally
+*through the shared buffer pool*.  The cluster organization additionally
 chooses how much of a touched cluster unit to transfer:
 
 * ``complete`` — the whole unit (the paper's default; "exhibits the
@@ -19,7 +19,8 @@ chooses how much of a touched cluster unit to transfer:
 
 from __future__ import annotations
 
-from repro.buffer.lru import LRUBuffer
+from repro.buffer.policy import ReplacementPolicy
+from repro.buffer.pool import BufferPool
 from repro.core.organization import ClusterOrganization
 from repro.core.techniques import slm_schedule
 from repro.disk.extent import Extent
@@ -44,10 +45,10 @@ class ObjectTransfer:
     ----------
     org:
         The organization storing the relation.
-    disk:
-        The shared disk model.
-    buffer:
-        The shared LRU page buffer.
+    pool:
+        The shared :class:`~repro.buffer.pool.BufferPool` pricing and
+        caching all transfers.  For backward compatibility the pool may
+        also be given as a ``(disk, replacement buffer)`` pair.
     technique:
         Cluster-unit transfer technique (ignored for the secondary and
         primary organizations, which have no units to batch).
@@ -56,8 +57,8 @@ class ObjectTransfer:
     def __init__(
         self,
         org: SpatialOrganization,
-        disk: DiskModel,
-        buffer: LRUBuffer,
+        pool: BufferPool | DiskModel,
+        buffer: ReplacementPolicy | None = None,
         technique: str = "complete",
     ):
         if technique not in JOIN_TECHNIQUES:
@@ -65,8 +66,10 @@ class ObjectTransfer:
                 f"unknown join technique '{technique}'; valid: {JOIN_TECHNIQUES}"
             )
         self.org = org
-        self.disk = disk
-        self.buffer = buffer
+        if isinstance(pool, BufferPool):
+            self.pool = pool
+        else:
+            self.pool = BufferPool(pool, store=buffer)
         self.technique = technique
         self.object_requests = 0
         self.buffer_hits = 0
@@ -102,19 +105,18 @@ class ObjectTransfer:
     # ------------------------------------------------------------------
     def _pages_missing(self, start: int, npages: int) -> bool:
         return any(
-            (start + i) not in self.buffer for i in range(npages)
+            (start + i) not in self.pool for i in range(npages)
         )
 
     def _touch(self, start: int, npages: int) -> None:
         for i in range(npages):
-            self.buffer.access(start + i)
+            self.pool.access(start + i)
 
     def _fetch_extent(self, extent: Extent) -> None:
         """Secondary-style access: the object's extent is read with one
         request on any page miss and fully buffered."""
         if self._pages_missing(extent.start, extent.npages):
-            self.disk.read_extent(extent)
-            self.buffer.admit_all(extent.pages())
+            self.pool.fetch_extent(extent)
         else:
             self._touch(extent.start, extent.npages)
             self.buffer_hits += 1
@@ -125,9 +127,7 @@ class ObjectTransfer:
         objects are fetched like secondary objects."""
         assert isinstance(self.org, PrimaryOrganization)
         if leaf.page is not None:
-            if not self.buffer.access(leaf.page):
-                self.disk.read(leaf.page, 1)
-                self.buffer.admit(leaf.page)
+            self.pool.get(leaf.page)
         for oid in oids:
             if not self.org.is_inline(oid):
                 self._fetch_extent(self.org.overflow_extent(oid))
@@ -159,13 +159,13 @@ class ObjectTransfer:
             if charged is None:
                 charged = set()
                 self._optimum_pages[base] = charged
-                self.disk.charge(seeks=1, rotations=1)
+                self.pool.charge(seeks=1, rotations=1)
             new_pages = [p for p in requested if p not in charged]
             if new_pages:
                 charged.update(new_pages)
-                self.disk.charge(pages=len(new_pages))
+                self.pool.charge(pages=len(new_pages))
             return
-        missing = [p for p in requested if (base + p) not in self.buffer]
+        missing = [p for p in requested if (base + p) not in self.pool]
         if not missing:
             self._touch_pages(base, requested)
             self.buffer_hits += len(unit_oids)
@@ -174,22 +174,24 @@ class ObjectTransfer:
         technique = self.technique
         if technique == "complete":
             used = min(unit.used_pages, unit.extent.npages)
-            self.disk.read(base, used)
-            self.buffer.admit_all(base + p for p in range(used))
+            self.pool.fetch(base, used)
         elif technique in ("read", "vector"):
-            runs = slm_schedule(missing, self.disk.params.slm_gap_pages)
+            runs = slm_schedule(missing, self.pool.params.slm_gap_pages)
             first = True
             for start, npages in runs:
-                self.disk.read(base + start, npages, continuation=not first)
+                self.pool.fetch(
+                    base + start,
+                    npages,
+                    continuation=not first,
+                    admit=(technique == "read"),
+                )
                 first = False
-                if technique == "read":
-                    self.buffer.admit_all(base + start + i for i in range(npages))
             if technique == "vector":
-                self.buffer.admit_all(base + p for p in missing)
+                self.pool.admit_all(base + p for p in missing)
         else:  # pragma: no cover - guarded in __init__ / early return
             raise ConfigurationError(f"unknown technique {technique}")
         self._touch_pages(base, requested)
 
     def _touch_pages(self, base: int, pages: list[int]) -> None:
         for p in pages:
-            self.buffer.access(base + p)
+            self.pool.access(base + p)

@@ -2,23 +2,27 @@
 
 Every R*-tree node corresponds to one disk page (Section 4.1).  The
 :class:`NodePager` assigns page numbers from a dedicated region and
-prices node reads/writes against the :class:`~repro.disk.DiskModel`,
-optionally through a write-back LRU buffer.
+routes node reads/writes through a :class:`~repro.buffer.pool.BufferPool`,
+which prices the traffic against the :class:`~repro.disk.DiskModel`.
 
 Two modes matter for the experiments:
 
-* **construction** — a buffered pager (the authors' systems cache the
-  upper tree levels; dirty pages are written back on eviction and at the
-  final flush);
-* **query measurement** — an unbuffered pager with
+* **construction** — a pager over a caching pool (the authors' systems
+  cache the upper tree levels; dirty pages are written back on eviction
+  and at the final flush);
+* **query measurement** — a pager over a pass-through pool with
   ``directory_resident=True``: the small directory is assumed to be
   memory-resident and only data-page (and object) accesses are priced,
   matching the paper's I/O-cost reporting.
+
+The pool may be shared with other consumers (the organizations hand
+their own pool to the query pager), so tree pages and object pages can
+genuinely compete for the same frames.
 """
 
 from __future__ import annotations
 
-from repro.buffer.lru import LRUBuffer
+from repro.buffer.pool import BufferPool
 from repro.disk.allocator import Region
 from repro.disk.extent import Extent
 from repro.disk.model import DiskModel
@@ -28,7 +32,7 @@ __all__ = ["NodePager"]
 
 
 class NodePager:
-    """Prices R*-tree node I/O.
+    """Prices R*-tree node I/O through a buffer pool.
 
     Parameters
     ----------
@@ -37,14 +41,20 @@ class NodePager:
     region:
         The address-space region that owns the tree's pages.
     buffer_capacity:
-        Size of the write-back LRU buffer in pages; ``None`` disables
-        buffering (every access is priced).
+        Size of the pager's own write-back buffer in pages; ``None``
+        disables buffering (every access is priced).  Ignored when a
+        shared ``pool`` is given.
     directory_resident:
         When true, accesses to nodes of level >= 1 are free — the
         query-measurement assumption described above.
+    pool:
+        An externally owned :class:`~repro.buffer.pool.BufferPool` to
+        route through instead of building a private one.  The attribute
+        may be swapped at runtime (the workload engine does) to point
+        the pager at a different shared pool.
     """
 
-    __slots__ = ("disk", "region", "buffer", "directory_resident")
+    __slots__ = ("disk", "region", "pool", "directory_resident")
 
     def __init__(
         self,
@@ -52,23 +62,17 @@ class NodePager:
         region: Region,
         buffer_capacity: int | None = None,
         directory_resident: bool = False,
+        pool: BufferPool | None = None,
     ):
         self.disk = disk
         self.region = region
         self.directory_resident = directory_resident
-        if buffer_capacity is not None:
-            self.buffer: LRUBuffer | None = LRUBuffer(
-                buffer_capacity, on_evict=self._on_evict
-            )
+        if pool is not None:
+            self.pool = pool
         else:
-            self.buffer = None
+            self.pool = BufferPool(disk, capacity=buffer_capacity or 0)
 
     # ------------------------------------------------------------------
-    def _on_evict(self, page: object, dirty: bool) -> None:
-        if dirty:
-            assert isinstance(page, int)
-            self.disk.write(page, 1)
-
     def register(self, node: Node) -> None:
         """Assign a fresh page to a new node."""
         node.page = self.region.allocate(1).start
@@ -77,48 +81,33 @@ class NodePager:
         """Release the page of a deleted node."""
         if node.page is None:
             return
-        if self.buffer is not None:
-            self.buffer.discard(node.page)
+        self.pool.discard(node.page)
         self.region.free(Extent(node.page, 1))
         node.page = None
 
     # ------------------------------------------------------------------
     def read(self, node: Node) -> None:
-        """Price reading the node's page (buffer hits are free)."""
+        """Price reading the node's page (pool hits are free)."""
         if node.page is None:
             return
         if self.directory_resident and node.level >= 1:
             return
-        if self.buffer is not None:
-            if self.buffer.access(node.page):
-                return
-            self.disk.read(node.page, 1)
-            self.buffer.admit(node.page)
-        else:
-            self.disk.read(node.page, 1)
+        self.pool.get(node.page)
 
     def write(self, node: Node) -> None:
-        """Price writing the node's page (buffered pagers defer to
+        """Price writing the node's page (caching pools defer to
         eviction / flush)."""
         if node.page is None:
             return
         if self.directory_resident and node.level >= 1:
             return
-        if self.buffer is not None:
-            self.buffer.admit(node.page, dirty=True)
-        else:
-            self.disk.write(node.page, 1)
+        self.pool.write(node.page, 1)
 
     def flush(self) -> None:
         """Write back every dirty buffered page."""
-        if self.buffer is not None:
-            self.buffer.flush()
+        self.pool.flush()
 
     def reset_buffer(self) -> None:
         """Drop all buffered pages *without* write-back (start a cold
         measurement phase)."""
-        if self.buffer is not None:
-            callback = self.buffer.on_evict
-            self.buffer.on_evict = None
-            self.buffer.flush()
-            self.buffer.on_evict = callback
+        self.pool.invalidate()

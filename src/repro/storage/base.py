@@ -18,8 +18,11 @@ paper reports query I/O cost.
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
+from repro.buffer.pool import BufferPool
 from repro.constants import ENTRY_SIZE, PAGE_CAPACITY, PAGE_SIZE
 from repro.disk.allocator import PageAllocator
 from repro.disk.model import DiskModel, DiskStats
@@ -85,6 +88,7 @@ class SpatialOrganization(abc.ABC):
         max_entries: int = PAGE_CAPACITY,
         construction_buffer_pages: int = 256,
         region_prefix: str = "",
+        pool: BufferPool | None = None,
     ):
         self.disk = disk or DiskModel()
         self.allocator = allocator or PageAllocator()
@@ -94,6 +98,12 @@ class SpatialOrganization(abc.ABC):
         self.objects: dict[int, SpatialObject] = {}
         self._construction_io = DiskStats()
         self._measuring = False
+        # All measurement-mode page traffic (data pages, cluster units,
+        # object extents) funnels through one shared buffer pool.  The
+        # default pool is pass-through (capacity 0): every request is
+        # priced cold, matching the paper's per-query I/O reporting.
+        # The workload engine swaps a caching pool in via `use_pool`.
+        self.pool = pool if pool is not None else BufferPool(self.disk, capacity=0)
 
         tree_region = self._claim_region("tree")
         # Construction runs under the same assumption as measurement:
@@ -108,7 +118,7 @@ class SpatialOrganization(abc.ABC):
             directory_resident=True,
         )
         self._query_pager = NodePager(
-            self.disk, tree_region, buffer_capacity=None, directory_resident=True
+            self.disk, tree_region, directory_resident=True, pool=self.pool
         )
         self.tree = self._build_tree(self._construction_pager)
 
@@ -283,6 +293,31 @@ class SpatialOrganization(abc.ABC):
                 result.objects.append(obj)
         result.io = self.disk.stats() - before
         return result
+
+    # ------------------------------------------------------------------
+    # buffer-pool wiring
+    # ------------------------------------------------------------------
+    def _drop_frames(self, extent) -> None:
+        """Invalidate pool frames of a freed/relocated extent (its page
+        numbers may be re-allocated for different content)."""
+        for page in extent.pages():
+            self.pool.discard(page)
+
+    @contextmanager
+    def use_pool(self, pool: BufferPool) -> Iterator[BufferPool]:
+        """Temporarily route all of this organization's page traffic —
+        object/unit reads and the query pager's node I/O — through a
+        (typically shared, caching) buffer pool.  The workload engine
+        and policy ablations use this; on exit the original pool is
+        restored."""
+        previous = self.pool
+        self.pool = pool
+        self._query_pager.pool = pool
+        try:
+            yield pool
+        finally:
+            self.pool = previous
+            self._query_pager.pool = previous
 
     # ------------------------------------------------------------------
     # reporting helpers

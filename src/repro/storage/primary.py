@@ -61,7 +61,7 @@ class PrimaryOrganization(SpatialOrganization):
             return None
         extent = self._overflow.allocate(self.pages_for(obj.size_bytes))
         self._overflow_extents[obj.oid] = extent
-        self.disk.write_extent(extent)
+        self.pool.write_extent(extent)
         return extent
 
     # ------------------------------------------------------------------
@@ -82,7 +82,7 @@ class PrimaryOrganization(SpatialOrganization):
                 assert entry.oid is not None
                 extent = self._overflow_extents.get(entry.oid)
                 if extent is not None:
-                    self.disk.read_extent(extent)
+                    self.pool.read_extent(extent)
                 candidates.append(self.objects[entry.oid])
         return candidates
 
@@ -90,6 +90,7 @@ class PrimaryOrganization(SpatialOrganization):
         extent = self._overflow_extents.pop(obj.oid, None)
         if extent is not None:
             self._overflow.free(extent)
+            self._drop_frames(extent)
 
     # ------------------------------------------------------------------
     def occupied_pages(self) -> int:

@@ -69,7 +69,7 @@ class SecondaryOrganization(SpatialOrganization):
         completed_before = start_byte // page
         completed_after = end_byte // page
         if completed_after > completed_before:
-            self.disk.write(
+            self.pool.write(
                 self._file.base + completed_before,
                 completed_after - completed_before,
             )
@@ -91,7 +91,7 @@ class SecondaryOrganization(SpatialOrganization):
             for entry in entries:
                 assert entry.oid is not None
                 extent = self._extents[entry.oid]
-                self.disk.read_extent(extent)
+                self.pool.read_extent(extent)
                 candidates.append(self.objects[entry.oid])
         return candidates
 

@@ -1,0 +1,22 @@
+"""Batched workload execution over the shared buffer pool.
+
+:class:`~repro.workload.engine.WorkloadEngine` runs mixed operation
+streams (window/point queries, inserts, deletes, joins) against one
+organization with all page traffic flowing through a single
+:class:`~repro.buffer.pool.BufferPool`, and reports per-phase
+:class:`~repro.disk.model.DiskStats` plus pool hit rates.
+:func:`~repro.workload.streams.mixed_stream` builds deterministic
+paper-style streams.  The high-level entry point is
+:meth:`repro.database.SpatialDatabase.run_workload`.
+"""
+
+from repro.workload.engine import OP_KINDS, PhaseStats, WorkloadEngine, WorkloadReport
+from repro.workload.streams import mixed_stream
+
+__all__ = [
+    "OP_KINDS",
+    "PhaseStats",
+    "WorkloadEngine",
+    "WorkloadReport",
+    "mixed_stream",
+]

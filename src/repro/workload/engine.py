@@ -1,0 +1,228 @@
+"""The batched workload engine.
+
+Executes a mixed stream of operations — window queries, point queries,
+inserts, deletes and spatial joins — against one organization, with all
+page traffic routed through a single shared
+:class:`~repro.buffer.pool.BufferPool`.  This is the serving-path
+counterpart of the per-figure experiment drivers: instead of measuring
+one query type cold, it measures a *workload* warm, where tree pages,
+cluster units and object extents compete for the same frames (the
+Section 6.1 buffering regime, generalised beyond the join).
+
+Per operation kind the engine accumulates a :class:`PhaseStats` —
+operation count, result volume, pool hits/misses and a
+:class:`~repro.disk.model.DiskStats` delta — and finishes with a
+``flush`` phase that writes back the dirty frames through the pool's
+coalescing scheduler.  The result is a :class:`WorkloadReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buffer.pool import BufferPool
+from repro.disk.model import DiskStats
+from repro.errors import ConfigurationError
+from repro.geometry.feature import SpatialObject
+from repro.geometry.rect import Rect
+from repro.storage.base import SpatialOrganization
+
+__all__ = ["OP_KINDS", "PhaseStats", "WorkloadReport", "WorkloadEngine"]
+
+OP_KINDS = ("window", "point", "insert", "delete", "join")
+"""Operation kinds understood by the engine.
+
+Operations are plain tuples:
+
+* ``("window", Rect)`` or ``("window", xmin, ymin, xmax, ymax)``
+* ``("point", x, y)``
+* ``("insert", SpatialObject)``
+* ``("delete", oid)``
+* ``("join", other[, technique])`` — ``other`` is a
+  :class:`~repro.database.SpatialDatabase` or organization sharing this
+  database's disk
+"""
+
+
+@dataclass(slots=True)
+class PhaseStats:
+    """Accumulated statistics of one operation kind within a workload."""
+
+    kind: str
+    operations: int = 0
+    results: int = 0
+    hits: int = 0
+    misses: int = 0
+    io: DiskStats = field(default_factory=DiskStats)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(slots=True)
+class WorkloadReport:
+    """Outcome of one :meth:`WorkloadEngine.run`."""
+
+    policy: str
+    buffer_pages: int
+    phases: list[PhaseStats] = field(default_factory=list)
+
+    def phase(self, kind: str) -> PhaseStats | None:
+        for p in self.phases:
+            if p.kind == kind:
+                return p
+        return None
+
+    @property
+    def operations(self) -> int:
+        return sum(p.operations for p in self.phases)
+
+    @property
+    def total_io(self) -> DiskStats:
+        total = DiskStats()
+        for p in self.phases:
+            total = total + p.io
+        return total
+
+    @property
+    def hit_rate(self) -> float:
+        hits = sum(p.hits for p in self.phases)
+        misses = sum(p.misses for p in self.phases)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def format(self, title: str | None = None) -> str:
+        """Aligned per-phase table (the `repro.eval workload` output)."""
+        from repro.eval.report import format_table
+
+        rows = []
+        for p in self.phases:
+            rows.append(
+                (
+                    p.kind,
+                    p.operations,
+                    p.results,
+                    f"{p.hit_rate:.1%}",
+                    p.io.requests,
+                    p.io.pages_transferred,
+                    p.io.total_ms,
+                )
+            )
+        rows.append(
+            (
+                "total",
+                self.operations,
+                sum(p.results for p in self.phases),
+                f"{self.hit_rate:.1%}",
+                self.total_io.requests,
+                self.total_io.pages_transferred,
+                self.total_io.total_ms,
+            )
+        )
+        header = title or (
+            f"workload: policy={self.policy}, buffer={self.buffer_pages} pages"
+        )
+        return format_table(
+            ("phase", "ops", "results", "hit rate", "requests", "pages", "io ms"),
+            rows,
+            title=header,
+        )
+
+
+class WorkloadEngine:
+    """Runs operation streams against one organization and pool.
+
+    Parameters
+    ----------
+    storage:
+        The organization serving the workload (a
+        :class:`~repro.database.SpatialDatabase`'s ``storage``).
+    pool:
+        The shared buffer pool all phases read and write through.
+    """
+
+    def __init__(self, storage: SpatialOrganization, pool: BufferPool):
+        self.storage = storage
+        self.pool = pool
+        self._io_mark = DiskStats()
+        self._hits_mark = 0
+        self._misses_mark = 0
+
+    # ------------------------------------------------------------------
+    def run(self, operations) -> WorkloadReport:
+        """Execute the stream and return the per-phase report.
+
+        The organization's page traffic is routed through the engine's
+        pool for the duration; dirty frames are written back (with
+        coalesced vectored transfers) in a final ``flush`` phase and
+        the original pool wiring is restored.
+        """
+        report = WorkloadReport(
+            policy=self.pool.policy, buffer_pages=self.pool.capacity
+        )
+        phases: dict[str, PhaseStats] = {}
+        with self.storage.use_pool(self.pool):
+            for op in operations:
+                kind, results = self._execute(op)
+                phase = phases.get(kind)
+                if phase is None:
+                    phase = phases[kind] = PhaseStats(kind)
+                    report.phases.append(phase)
+                phase.operations += 1
+                phase.results += results
+                self._account(phase)
+            flush = PhaseStats("flush")
+            self._snapshot()
+            self.pool.flush(coalesce=True)
+            self._account(flush)
+            if flush.io.requests:
+                flush.operations = 1
+                report.phases.append(flush)
+        return report
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> None:
+        self._io_mark = self.storage.disk.stats()
+        self._hits_mark = self.pool.hits
+        self._misses_mark = self.pool.misses
+
+    def _account(self, phase: PhaseStats) -> None:
+        phase.io = phase.io + (self.storage.disk.stats() - self._io_mark)
+        phase.hits += self.pool.hits - self._hits_mark
+        phase.misses += self.pool.misses - self._misses_mark
+
+    def _execute(self, op) -> tuple[str, int]:
+        if not isinstance(op, tuple) or not op:
+            raise ConfigurationError(f"malformed workload operation: {op!r}")
+        kind = op[0]
+        self._snapshot()
+        if kind == "window":
+            window = op[1] if isinstance(op[1], Rect) else Rect(*op[1:5])
+            return kind, len(self.storage.window_query(window).objects)
+        if kind == "point":
+            return kind, len(self.storage.point_query(op[1], op[2]).objects)
+        if kind == "insert":
+            obj = op[1]
+            if not isinstance(obj, SpatialObject):
+                raise ConfigurationError(
+                    f"insert operations carry a SpatialObject, got {obj!r}"
+                )
+            self.storage.insert(obj)
+            return kind, 1
+        if kind == "delete":
+            self.storage.delete(op[1])
+            return kind, 1
+        if kind == "join":
+            other = getattr(op[1], "storage", op[1])
+            technique = op[2] if len(op) > 2 else "complete"
+            from repro.join.multistep import spatial_join
+
+            result = spatial_join(
+                self.storage, other, technique=technique, pool=self.pool
+            )
+            return kind, result.candidate_pairs
+        raise ConfigurationError(
+            f"unknown workload operation '{kind}'; valid: {OP_KINDS}"
+        )

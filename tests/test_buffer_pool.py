@@ -1,0 +1,278 @@
+"""Tests for the buffer pool and the pluggable replacement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.lru import LRUBuffer
+from repro.buffer.policy import (
+    POLICIES,
+    ClockBuffer,
+    FIFOBuffer,
+    LRUKBuffer,
+    ReplacementPolicy,
+    make_buffer,
+)
+from repro.buffer.pool import BufferPool, coalesce_pages
+from repro.disk.model import DiskModel
+from repro.errors import ConfigurationError
+
+
+class TestCoalesce:
+    def test_adjacent_merge(self):
+        assert coalesce_pages([1, 2, 3, 7, 8, 12]) == [(1, 3), (7, 2), (12, 1)]
+
+    def test_empty(self):
+        assert coalesce_pages([]) == []
+
+    def test_single(self):
+        assert coalesce_pages([5]) == [(5, 1)]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coalesce_pages([3, 1])
+
+
+class TestPolicies:
+    def test_registry(self):
+        assert set(POLICIES) == {"lru", "fifo", "clock", "lru-k"}
+        for name in POLICIES:
+            buf = make_buffer(name, 4)
+            assert isinstance(buf, ReplacementPolicy)
+            assert buf.capacity == 4
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_buffer("mru", 4)
+
+    def test_capacity_validated(self):
+        for name in POLICIES:
+            with pytest.raises(ConfigurationError):
+                make_buffer(name, 0)
+
+    def test_fifo_ignores_recency(self):
+        buf = FIFOBuffer(2)
+        buf.admit("a")
+        buf.admit("b")
+        buf.access("a")  # would save "a" under LRU
+        buf.admit("c")
+        assert "a" not in buf and "b" in buf and "c" in buf
+
+    def test_lru_respects_recency(self):
+        buf = LRUBuffer(2)
+        buf.admit("a")
+        buf.admit("b")
+        buf.access("a")
+        buf.admit("c")
+        assert "a" in buf and "b" not in buf
+
+    def test_clock_second_chance(self):
+        buf = ClockBuffer(2)
+        buf.admit("a")
+        buf.admit("b")
+        buf.admit("c")  # full sweep clears the load bits, evicts oldest
+        assert "a" not in buf
+        buf.access("b")  # re-referenced: survives the next sweep
+        buf.admit("d")  # hand passes b (clears bit), evicts c
+        assert "b" in buf and "c" not in buf and "d" in buf
+
+    def test_clock_new_page_survives_its_own_admission(self):
+        """A freshly loaded page sits behind the hand with its bit set
+        and must never be the victim of the sweep it triggered."""
+        buf = ClockBuffer(3)
+        buf.admit_all(["a", "b", "c"])
+        buf.access("a")
+        buf.access("b")
+        buf.access("c")  # hot set: every bit set
+        buf.admit("d")
+        assert "d" in buf and "a" not in buf
+
+    def test_lruk_prefers_single_touch_victims(self):
+        buf = LRUKBuffer(3, k=2)
+        buf.admit("hot")
+        buf.access("hot")  # two references
+        buf.admit("scan1")
+        buf.admit("scan2")
+        buf.admit("scan3")  # evicts a single-touch page, never "hot"
+        assert "hot" in buf
+        assert len(buf) == 3
+
+    def test_lruk_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            LRUKBuffer(4, k=0)
+
+    def test_eviction_callback_dirty_flag(self):
+        out = []
+        for name in POLICIES:
+            buf = make_buffer(name, 1, on_evict=lambda k, d: out.append((k, d)))
+            buf.admit("a", dirty=True)
+            buf.admit("b")
+            assert out[-1] == ("a", True), name
+
+    def test_flush_counts_evictions(self):
+        # The satellite fix: flush-time evictions show up in the stats.
+        for name in POLICIES:
+            buf = make_buffer(name, 8)
+            buf.admit_all(["a", "b", "c"], dirty=True)
+            buf.flush()
+            assert buf.evictions == 3, name
+            assert len(buf) == 0
+
+    def test_dirty_bookkeeping(self):
+        for name in POLICIES:
+            buf = make_buffer(name, 8)
+            buf.admit("a", dirty=True)
+            buf.admit("b")
+            assert buf.dirty_keys() == ["a"], name
+            buf.mark_clean("a")
+            assert buf.dirty_keys() == [], name
+
+
+class TestPassThroughPool:
+    """Capacity-0 pools price exactly like the bare disk model."""
+
+    def test_read_prices_like_disk(self):
+        pool_disk, raw_disk = DiskModel(), DiskModel()
+        pool = BufferPool(pool_disk)
+        assert pool.read(100, 4) == raw_disk.read(100, 4)
+        assert pool.read(104, 2) == raw_disk.read(104, 2)  # sequential
+        assert pool.read(7, 3, continuation=True) == raw_disk.read(
+            7, 3, continuation=True
+        )
+        assert pool_disk.stats() == raw_disk.stats()
+
+    def test_write_prices_like_disk(self):
+        disk = DiskModel()
+        pool = BufferPool(disk)
+        assert pool.write(5, 2) == 9 + 6 + 2
+
+    def test_nothing_resident(self):
+        pool = BufferPool(DiskModel())
+        pool.read(0, 4)
+        assert 0 not in pool
+        assert len(pool) == 0
+        assert pool.policy == "none"
+        assert pool.hit_rate == 0.0
+
+    def test_flush_and_invalidate_noop(self):
+        pool = BufferPool(DiskModel())
+        assert pool.flush() == 0.0
+        pool.invalidate()
+
+
+class TestCachingPool:
+    def test_hit_is_free(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=8)
+        pool.read(10, 1)
+        before = disk.stats()
+        pool.read(10, 1)
+        assert (disk.stats() - before).requests == 0
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_read_coalesces_missing_runs(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=16)
+        pool.admit(12)  # page in the middle is already resident
+        before = disk.stats()
+        pool.read(10, 5)  # 10..14 -> missing runs (10,2) and (13,2)
+        delta = disk.stats() - before
+        assert delta.requests == 2
+        assert delta.pages_transferred == 4
+        # second run priced as a continuation: one seek total
+        assert delta.seeks == 1
+
+    def test_write_back_on_eviction(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=1)
+        pool.write(5, 1)
+        before = disk.stats()
+        pool.read(6, 1)  # evicts dirty page 5
+        delta = disk.stats() - before
+        assert delta.requests == 2  # the read plus the write-back
+
+    def test_flush_coalesced_write_back(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=16)
+        pool.write(3, 1)
+        pool.write(4, 1)
+        pool.write(9, 1)
+        before = disk.stats()
+        pool.flush(coalesce=True)
+        delta = disk.stats() - before
+        assert delta.pages_transferred == 3
+        assert delta.requests == 2  # runs (3,2) and (9,1)
+        assert len(pool) == 0
+
+    def test_invalidate_skips_write_back(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=8)
+        pool.write(3, 1)
+        before = disk.stats()
+        pool.invalidate()
+        assert (disk.stats() - before).requests == 0
+        assert len(pool) == 0
+
+    def test_fetch_ignores_residency(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=8)
+        pool.admit(11)
+        before = disk.stats()
+        pool.fetch(10, 3)
+        delta = disk.stats() - before
+        assert delta.requests == 1 and delta.pages_transferred == 3
+        assert all(p in pool for p in (10, 11, 12))
+
+    def test_adopted_store_is_shared(self):
+        disk = DiskModel()
+        store = LRUBuffer(4)
+        pool = BufferPool(disk, store=store)
+        pool.read(10, 2)
+        assert 10 in store and 11 in store
+        assert pool.policy == "lru"
+
+    def test_pool_policy_name(self):
+        assert BufferPool(DiskModel(), capacity=4, policy="clock").policy == "clock"
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferPool(DiskModel(), capacity=-1)
+
+    def test_read_pages_scattered(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=16)
+        before = disk.stats()
+        pool.read_pages([1, 2, 3, 9, 10])
+        delta = disk.stats() - before
+        assert delta.requests == 2
+        assert delta.seeks == 1  # follow-up run is a continuation
+        assert delta.pages_transferred == 5
+
+    def test_per_object_read_seek_survives_absorbed_first_access(self):
+        """When a warm pool fully absorbs the first object's access,
+        the next transferring access must still pay the positioning
+        seek instead of inheriting the continuation discount."""
+        from repro.core.techniques import read_per_object
+        from repro.core.unit import ClusterUnit
+        from repro.disk.extent import Extent
+
+        unit = ClusterUnit(Extent(100, 8), 4096)
+        unit.append(1, 4096)  # relative page 0
+        unit.append(2, 4096)  # relative page 1
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=8)
+        pool.admit(100)  # object 1 fully resident
+        before = disk.stats()
+        read_per_object(pool, unit, [1, 2])
+        delta = disk.stats() - before
+        assert delta.seeks == 1  # the transfer for object 2 is fresh
+        assert delta.pages_transferred == 1
+
+    def test_discard_drops_dirty_without_write(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=4)
+        pool.write(7, 1)
+        pool.discard(7)
+        before = disk.stats()
+        pool.flush()
+        assert (disk.stats() - before).requests == 0

@@ -148,6 +148,70 @@ class TestDiskModel:
         assert s.transfer_ms == 5.0
 
 
+class TestHeadPositionEdgeCases:
+    def test_sequential_detection_after_invalidate(self):
+        """invalidate_head() must break sequential detection exactly
+        once: the next request is fresh, the one after it is sequential
+        again."""
+        disk = DiskModel()
+        disk.read(100, 4)
+        disk.invalidate_head()
+        assert disk.head is None
+        assert disk.read(104, 1) == 9 + 6 + 1  # fresh despite adjacency
+        assert disk.head == 105
+        assert disk.read(105, 1) == 1.0  # sequential resumes
+
+    def test_continuation_after_invalidate_still_pays_latency(self):
+        disk = DiskModel()
+        disk.read(100, 1)
+        disk.invalidate_head()
+        assert disk.read(101, 2, continuation=True) == 6 + 2
+
+    def test_charge_all_zero_components(self):
+        """charge() with nothing to charge is free and records no
+        request (the Figure 16 driver calls it unconditionally)."""
+        disk = DiskModel()
+        disk.read(0, 1)
+        before = disk.stats()
+        assert disk.charge(seeks=0, rotations=0, pages=0) == 0.0
+        delta = disk.stats() - before
+        assert delta.requests == 0
+        assert delta.total_ms == 0.0
+        assert disk.head == 1  # head untouched
+
+    def test_charge_single_component_counts_one_request(self):
+        disk = DiskModel()
+        assert disk.charge(pages=3) == 3.0
+        assert disk.stats().requests == 1
+
+    def test_extent_read_crossing_prior_head_position(self):
+        """An extent overlapping the head position but not *starting*
+        on it is a fresh request — adjacency is detected only at the
+        request's first page."""
+        disk = DiskModel()
+        disk.read(100, 4)  # head now at 104
+        cost = disk.read_extent(Extent(102, 4))  # crosses 104
+        assert cost == 9 + 6 + 4
+        assert disk.head == 106
+
+    def test_extent_read_starting_on_head_is_sequential(self):
+        disk = DiskModel()
+        disk.read_extent(Extent(100, 4))
+        assert disk.read_extent(Extent(104, 3)) == 3.0
+
+    def test_backward_extent_read_is_fresh(self):
+        disk = DiskModel()
+        disk.read(100, 4)
+        assert disk.read_extent(Extent(96, 4)) == 9 + 6 + 4
+
+    def test_write_continues_read_head(self):
+        """Reads and writes share the simulated head (the write-back of
+        a just-read page starts a fresh request only if non-adjacent)."""
+        disk = DiskModel()
+        disk.read(50, 2)
+        assert disk.write(52, 1) == 1.0  # sequential after the read
+
+
 class TestDiskStats:
     def test_subtraction(self):
         disk = DiskModel()

@@ -1,0 +1,250 @@
+"""Tests for the batched workload engine and SpatialDatabase.run_workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.database import SpatialDatabase
+from repro.errors import ConfigurationError
+from repro.geometry.feature import SpatialObject
+from repro.geometry.polyline import Polyline
+from repro.workload.engine import WorkloadEngine
+from repro.workload.streams import mixed_stream
+
+from tests.conftest import make_objects
+
+
+def build_db(objects, name="r") -> SpatialDatabase:
+    db = SpatialDatabase(
+        organization="cluster", smax_bytes=16 * 4096, name=name
+    )
+    db.build(objects)
+    return db
+
+
+@pytest.fixture(scope="module")
+def workload_setup():
+    objects = make_objects(260, seed=23)
+    resident, incoming = objects[:240], objects[240:]
+    return resident, incoming
+
+
+def make_stream(resident, incoming, join_with=None):
+    return mixed_stream(
+        resident,
+        n_windows=15,
+        window_area=1e-3,
+        n_points=15,
+        inserts=incoming,
+        deletes=[o.oid for o in resident[:5]],
+        join_with=join_with,
+        seed=7,
+        data_space=10_000.0,
+    )
+
+
+class TestMixedStream:
+    def test_contains_all_kinds_interleaved(self, workload_setup):
+        resident, incoming = workload_setup
+        stream = make_stream(resident, incoming)
+        kinds = [op[0] for op in stream]
+        assert set(kinds) == {"window", "point", "insert", "delete"}
+        # Round-robin: the first four operations cover four kinds.
+        assert set(kinds[:4]) == {"window", "point", "insert", "delete"}
+        assert kinds.count("insert") == len(incoming)
+        assert kinds.count("delete") == 5
+
+    def test_join_appended(self, workload_setup):
+        resident, _ = workload_setup
+        stream = mixed_stream(
+            resident, n_windows=2, n_points=0, join_with="sentinel"
+        )
+        assert stream[-1][0] == "join"
+        assert stream[-1][1] == "sentinel"
+
+    def test_negative_counts_rejected(self, workload_setup):
+        resident, _ = workload_setup
+        with pytest.raises(ConfigurationError):
+            mixed_stream(resident, n_windows=-1)
+
+
+class TestRunWorkload:
+    def test_report_phases_and_accounting(self, workload_setup):
+        resident, incoming = workload_setup
+        db = build_db(resident)
+        report = db.run_workload(
+            make_stream(resident, incoming), buffer_pages=256
+        )
+        kinds = {p.kind for p in report.phases}
+        assert {"window", "point", "insert", "delete"} <= kinds
+        executed = sum(
+            p.operations for p in report.phases if p.kind != "flush"
+        )
+        assert executed == 15 + 15 + len(incoming) + 5
+        assert 0.0 <= report.hit_rate <= 1.0
+        window = report.phase("window")
+        assert window is not None and window.operations == 15
+        # Per-phase I/O adds up to the report total.
+        total = report.total_io
+        assert total.total_ms == pytest.approx(
+            sum(p.io.total_ms for p in report.phases)
+        )
+        assert total.requests >= 1
+
+    def test_caching_beats_cold_queries(self, workload_setup):
+        """Repeating the same query stream under a warm pool must cost
+        less than the pass-through measurement mode."""
+        resident, _ = workload_setup
+        db = build_db(resident)
+        stream = [
+            op
+            for op in make_stream(resident, [])
+            if op[0] in ("window", "point")
+        ]
+        before = db.io_stats()
+        for op in stream:
+            if op[0] == "window":
+                db.storage.window_query(op[1])
+            else:
+                db.point_query(op[1], op[2])
+        cold_ms = (db.io_stats() - before).total_ms
+
+        report = db.run_workload(stream * 2, buffer_pages=4096)
+        assert report.total_io.total_ms < 2 * cold_ms
+        assert report.hit_rate > 0.0
+
+    def test_policies_all_run(self, workload_setup):
+        resident, incoming = workload_setup
+        for policy in ("lru", "fifo", "clock", "lru-k"):
+            db = build_db(resident)
+            report = db.run_workload(
+                make_stream(resident, incoming),
+                buffer_pages=128,
+                policy=policy,
+            )
+            assert report.policy == policy
+            assert 0.0 <= report.hit_rate <= 1.0
+
+    def test_join_operation(self, workload_setup):
+        resident, _ = workload_setup
+        db = build_db(resident)
+        objs_s = make_objects(120, seed=29)
+        for o in objs_s:
+            o.oid += 1_000_000
+        other = db.attach("s", organization="cluster", smax_bytes=16 * 4096)
+        other.build(objs_s)
+        report = db.run_workload(
+            [("window", 0.0, 0.0, 500.0, 500.0), ("join", other)],
+            buffer_pages=256,
+        )
+        join_phase = report.phase("join")
+        assert join_phase is not None
+        assert join_phase.results > 0  # candidate pairs found
+
+    def test_pool_restored_after_run(self, workload_setup):
+        resident, _ = workload_setup
+        db = build_db(resident)
+        original = db.storage.pool
+        db.run_workload([("point", 1.0, 1.0)], buffer_pages=64)
+        assert db.storage.pool is original
+        assert db.storage._query_pager.pool is original
+
+    def test_query_results_unchanged_by_pooling(self, workload_setup):
+        """Caching changes pricing, never answers."""
+        resident, _ = workload_setup
+        db = build_db(resident)
+        window = (200.0, 200.0, 2_000.0, 2_000.0)
+        cold = {o.oid for o in db.window_query(*window).objects}
+        report = db.run_workload(
+            [("window", *window)] * 3, buffer_pages=1024
+        )
+        warm = {o.oid for o in db.window_query(*window).objects}
+        assert cold == warm
+        assert report.phase("window").results == 3 * len(cold)
+
+    def test_malformed_ops_rejected(self, workload_setup):
+        resident, _ = workload_setup
+        db = build_db(resident)
+        with pytest.raises(ConfigurationError):
+            db.run_workload([("teleport", 1)])
+        with pytest.raises(ConfigurationError):
+            db.run_workload(["window"])
+        with pytest.raises(ConfigurationError):
+            db.run_workload([("insert", "not-an-object")])
+
+    def test_dirty_pages_flushed(self, workload_setup):
+        """Inserts under a caching pool defer their writes; the final
+        flush phase writes them back."""
+        resident, incoming = workload_setup
+        db = build_db(resident)
+        report = db.run_workload(
+            [("insert", obj) for obj in incoming], buffer_pages=512
+        )
+        flush = report.phase("flush")
+        assert flush is not None
+        assert flush.io.pages_transferred > 0
+
+
+class TestFreedExtentFrames:
+    def test_primary_overflow_delete_discards_frames(self):
+        """Freed overflow pages must leave the shared pool: stale dirty
+        frames would otherwise be flushed as phantom writes."""
+        from repro.geometry.polyline import Polyline
+
+        db = SpatialDatabase(organization="primary", name="p")
+        big = SpatialObject(
+            1, Polyline([(0.0, 0.0), (50.0, 50.0)]), size_bytes=30_000
+        )
+        db.insert(big)
+        db.finalize()
+        org = db.storage
+        pool = BufferPool(db.disk, capacity=64)
+        with org.use_pool(pool):
+            org.insert(
+                SpatialObject(
+                    2, Polyline([(0.0, 0.0), (60.0, 60.0)]), size_bytes=30_000
+                )
+            )
+            extent = org.overflow_extent(2)
+            assert all(p in pool for p in extent.pages())  # dirty frames
+            org.delete(2)
+            assert all(p not in pool for p in extent.pages())
+
+
+class TestEngineDirect:
+    def test_engine_over_shared_pool(self, workload_setup):
+        resident, _ = workload_setup
+        db = build_db(resident)
+        pool = BufferPool(db.disk, capacity=128, policy="clock")
+        engine = WorkloadEngine(db.storage, pool)
+        report = engine.run([("point", 5.0, 5.0), ("point", 5.0, 5.0)])
+        assert report.policy == "clock"
+        assert report.buffer_pages == 128
+        point = report.phase("point")
+        assert point is not None and point.operations == 2
+
+
+class TestWorkloadCLI:
+    def test_cli_smoke(self, capsys):
+        from repro.eval.__main__ import main
+
+        rc = main([
+            "workload",
+            "--scale", "0.002",
+            "--queries", "5",
+            "--buffer-pages", "64",
+            "--policies", "lru,fifo",
+            "--no-join",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy comparison" in out
+        assert "lru" in out and "fifo" in out
+        assert "hit rate" in out
+
+    def test_cli_rejects_unknown_policy(self):
+        from repro.eval.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["workload", "--policies", "bogus"])
