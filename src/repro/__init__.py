@@ -44,13 +44,25 @@ from repro.errors import (
 )
 from repro.geometry import Polygon, Polyline, Rect, SpatialObject
 from repro.join import JoinResult, spatial_join
+from repro.pagestore import (
+    PLACEMENTS,
+    PageStore,
+    ShardedPageStore,
+    VectoredCost,
+)
 from repro.rtree import RStarTree
 from repro.storage import (
     PrimaryOrganization,
     QueryResult,
     SecondaryOrganization,
 )
-from repro.workload import WorkloadEngine, WorkloadReport, mixed_stream
+from repro.workload import (
+    WorkloadEngine,
+    WorkloadReport,
+    load_trace,
+    mixed_stream,
+    save_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -75,6 +87,12 @@ __all__ = [
     "WorkloadEngine",
     "WorkloadReport",
     "mixed_stream",
+    "save_trace",
+    "load_trace",
+    "PageStore",
+    "ShardedPageStore",
+    "VectoredCost",
+    "PLACEMENTS",
     "DiskModel",
     "DiskParameters",
     "DiskStats",

@@ -26,12 +26,15 @@ shape working: the caller's buffer becomes the pool's frame table.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
 from repro.buffer.policy import ReplacementPolicy, make_buffer, policy_name
 from repro.disk.extent import Extent
 from repro.disk.model import DiskModel, DiskStats
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
+    from repro.pagestore.store import PageStore
 
 __all__ = ["BufferPool", "coalesce_pages"]
 
@@ -57,7 +60,10 @@ class BufferPool:
     Parameters
     ----------
     disk:
-        The disk cost model every transfer is priced against.
+        The backing store every transfer is priced against: a single
+        :class:`~repro.disk.model.DiskModel` or any other
+        :class:`~repro.pagestore.store.PageStore` (e.g. the sharded
+        multi-disk :class:`~repro.pagestore.store.ShardedPageStore`).
     capacity:
         Number of page frames.  ``0`` (default) selects pass-through
         mode: no residency, every request priced directly.
@@ -74,7 +80,7 @@ class BufferPool:
 
     def __init__(
         self,
-        disk: DiskModel,
+        disk: "DiskModel | PageStore",
         capacity: int = 0,
         policy: str = "lru",
         store: ReplacementPolicy | None = None,
@@ -188,6 +194,19 @@ class BufferPool:
         self.admit(page)
         return False
 
+    def _read_missing(self, missing: Sequence[int], continuation: bool) -> float:
+        """Transfer a sorted set of missing pages as one vectored batch
+        of coalesced runs.  The backing store prices the positioning:
+        on a single disk the first run is priced with the caller's
+        ``continuation`` flag (it pays the positioning seek unless the
+        caller is already inside a cluster unit) and follow-up runs as
+        continuations; a sharded store applies that rule per device
+        arm."""
+        runs = coalesce_pages(missing)
+        if not runs:
+            return 0.0
+        return self.disk.read_runs(runs, continuation)
+
     def read(self, start: int, npages: int = 1, continuation: bool = False) -> float:
         """Vectored read of ``npages`` consecutive pages with
         coalescing: resident pages are hits, the missing pages are
@@ -197,22 +216,7 @@ class BufferPool:
         if self.frames is None:
             self.misses += npages
             return self.disk.read(start, npages, continuation)
-        missing: list[int] = []
-        for page in range(start, start + npages):
-            if self.frames.access(page):
-                self.hits += 1
-            else:
-                self.misses += 1
-                missing.append(page)
-        cost = 0.0
-        first = True
-        for run_start, run_pages in coalesce_pages(missing):
-            cost += self.disk.read(
-                run_start, run_pages, continuation if first else True
-            )
-            first = False
-        self.frames.admit_all(missing)
-        return cost
+        return self.read_pages(range(start, start + npages), continuation)
 
     def read_extent(self, extent: Extent, continuation: bool = False) -> float:
         return self.read(extent.start, extent.npages, continuation)
@@ -236,20 +240,24 @@ class BufferPool:
     def fetch_extent(self, extent: Extent, continuation: bool = False) -> float:
         return self.fetch(extent.start, extent.npages, continuation)
 
-    def read_pages(self, pages: Sequence[int]) -> float:
+    def read_pages(self, pages: Sequence[int], continuation: bool = False) -> float:
         """Read a sorted set of (not necessarily adjacent) pages through
         the coalescing scheduler: missing pages are merged into adjacent
-        runs; the first run pays a fresh request, follow-ups a
-        continuation."""
+        runs; the first run is priced with the caller's ``continuation``
+        flag, follow-ups as continuations.
+
+        The run pricing is shared with :meth:`read`, so the first-access
+        positioning seek is charged identically in both entry points —
+        in particular in pass-through mode, where every page misses and
+        the first run must pay exactly one fresh request (``ts + tl``)
+        unless the caller is already positioned (``continuation=True``).
+        Historically ``read_pages`` could not express a continuation and
+        always charged the fresh seek."""
         missing = []
         for page in pages:
             if not self.access(page):
                 missing.append(page)
-        cost = 0.0
-        first = True
-        for run_start, run_pages in coalesce_pages(missing):
-            cost += self.disk.read(run_start, run_pages, continuation=not first)
-            first = False
+        cost = self._read_missing(missing, continuation)
         self.admit_all(missing)
         return cost
 
@@ -312,3 +320,20 @@ class BufferPool:
     def charge(self, seeks: int = 0, rotations: int = 0, pages: int = 0) -> float:
         """Account an analytic cost on the underlying disk."""
         return self.disk.charge(seeks=seeks, rotations=rotations, pages=pages)
+
+    def place_extent(self, extent: Extent, center=None, disk: int | None = None) -> None:
+        """Hint the backing store where an extent should live (a no-op
+        on single-disk backends).  Storage managers call this when they
+        create or relocate an extent whose spatial region they know, so
+        a sharded store can decluster it."""
+        place = getattr(self.disk, "place_extent", None)
+        if place is not None:
+            place(extent, center=center, disk=disk)
+
+    def forget_extent(self, extent: Extent) -> None:
+        """Tell the backing store an extent was freed or relocated (a
+        no-op on single-disk backends); its pages fall back to the
+        store's default placement."""
+        forget = getattr(self.disk, "forget_extent", None)
+        if forget is not None:
+            forget(extent)

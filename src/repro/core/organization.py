@@ -123,6 +123,7 @@ class ClusterOrganization(SpatialOrganization):
                 self.pages_for(obj.size_bytes)
             )
             self._oversize[obj.oid] = extent
+            self.pool.place_extent(extent, center=obj.mbr.center())
             self.pool.write_extent(extent)
             return extent
         return None  # placed by the entry-added hook, which knows the leaf
@@ -151,13 +152,16 @@ class ClusterOrganization(SpatialOrganization):
     # ------------------------------------------------------------------
     # physical placement hooks
     # ------------------------------------------------------------------
-    def _new_unit(self, size_bytes: int) -> ClusterUnit:
+    def _new_unit(self, size_bytes: int, center=None) -> ClusterUnit:
         """Allocate the physical unit for a cluster of ``size_bytes``
         (clamped to ``Smax``: a transiently overflowing cluster is
-        re-split immediately by the tree)."""
+        re-split immediately by the tree).  ``center`` is the spatial
+        placement hint handed to a sharded backing store."""
         pages = max(1, -(-size_bytes // self.page_size))
         pages = min(pages, self.policy.smax_pages)
-        return ClusterUnit(self._unit_alloc.allocate(pages), self.page_size)
+        unit = ClusterUnit(self._unit_alloc.allocate(pages), self.page_size)
+        self.pool.place_extent(unit.extent, center=center)
+        return unit
 
     def _priced_pages(self, unit: ClusterUnit) -> int:
         """Used pages clamped to the physical extent (a unit may
@@ -187,6 +191,10 @@ class ClusterOrganization(SpatialOrganization):
         pages = min(pages, self.policy.smax_pages)
         self._drop_frames(unit.extent)
         unit.extent = self._unit_alloc.grow(unit.extent, pages)
+        if unit.owner is not None:
+            self.pool.place_extent(
+                unit.extent, center=unit.owner.mbr().center()
+            )
         used = self._priced_pages(unit)
         if used:
             self.pool.write(unit.extent.start, used)
@@ -213,7 +221,7 @@ class ClusterOrganization(SpatialOrganization):
 
         unit: ClusterUnit | None = leaf.tag
         if unit is None:
-            unit = self._new_unit(size)
+            unit = self._new_unit(size, center=obj.mbr.center())
             unit.owner = leaf
             leaf.tag = unit
 
@@ -266,7 +274,7 @@ class ClusterOrganization(SpatialOrganization):
         moved = in_unit_oids(new_leaf)
         if moved:
             total = sum(self.objects[oid].size_bytes for oid in moved)
-            unit = self._new_unit(total)
+            unit = self._new_unit(total, center=new_leaf.mbr().center())
             for oid in moved:
                 if old_unit is not None and oid in old_unit.live:
                     old_unit.remove(oid)
@@ -299,6 +307,9 @@ class ClusterOrganization(SpatialOrganization):
                 self._unit_alloc.free(old_unit.extent)
                 self._drop_frames(old_unit.extent)
                 old_unit.extent = self._unit_alloc.allocate(pages)
+                self.pool.place_extent(
+                    old_unit.extent, center=old_leaf.mbr().center()
+                )
                 used = self._priced_pages(old_unit)
                 if used:
                     self.pool.write(old_unit.extent.start, used)

@@ -9,7 +9,7 @@ are cheap and scattered reads pay seek + latency.
 from repro.disk.allocator import PageAllocator, Region
 from repro.disk.buddy import BuddyAllocator, FixedUnitAllocator, buddy_sizes
 from repro.disk.extent import Extent
-from repro.disk.model import DiskModel, DiskStats
+from repro.disk.model import DiskModel, DiskStats, VectoredCost
 from repro.disk.params import DiskParameters
 from repro.disk.trace import IOPhase
 
@@ -17,6 +17,7 @@ __all__ = [
     "DiskParameters",
     "DiskModel",
     "DiskStats",
+    "VectoredCost",
     "Extent",
     "Region",
     "PageAllocator",

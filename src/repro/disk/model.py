@@ -18,13 +18,15 @@ snapshot to measure individual experiment phases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 from repro.disk.extent import Extent
 from repro.disk.params import DiskParameters
 from repro.errors import DiskError
 
-__all__ = ["DiskModel", "DiskStats"]
+__all__ = ["DiskModel", "DiskStats", "VectoredCost", "measure_costs"]
 
 
 @dataclass(slots=True)
@@ -85,6 +87,48 @@ class DiskStats:
             latency_ms=self.latency_ms,
             transfer_ms=self.transfer_ms,
         )
+
+
+@dataclass(slots=True)
+class VectoredCost:
+    """Parallel cost of a batch of page requests over one or more disks.
+
+    ``response_ms`` assumes the devices worked concurrently (max over
+    devices), ``total_ms`` is the device time they consumed together
+    (sum).  On a single disk the two coincide.  The sharded page store
+    (:mod:`repro.pagestore`) produces the multi-disk instances; it
+    lives here so the single-disk :class:`DiskModel` can speak the same
+    measurement surface without a circular import.
+    """
+
+    response_ms: float
+    total_ms: float
+    per_disk_ms: list[float] = field(default_factory=list)
+
+    @property
+    def parallelism(self) -> float:
+        """Achieved parallel speed-up: total work / response time."""
+        if self.response_ms <= 0:
+            return 1.0
+        return self.total_ms / self.response_ms
+
+
+@contextmanager
+def measure_costs(store) -> Iterator[VectoredCost]:
+    """Measure a batch of requests against any store exposing the
+    ``snapshot()`` / ``cost_since()`` surface; the yielded
+    :class:`VectoredCost` is filled in when the block exits.  Shared
+    implementation behind ``DiskModel.measure`` and
+    ``ShardedPageStore.measure``."""
+    before = store.snapshot()
+    cost = VectoredCost(response_ms=0.0, total_ms=0.0)
+    try:
+        yield cost
+    finally:
+        done = store.cost_since(before)
+        cost.response_ms = done.response_ms
+        cost.total_ms = done.total_ms
+        cost.per_disk_ms = done.per_disk_ms
 
 
 @dataclass(slots=True)
@@ -155,6 +199,20 @@ class DiskModel:
         the cost of this request in milliseconds."""
         return self._transfer(start, npages, continuation, "read")
 
+    def read_runs(
+        self, runs: Sequence[tuple[int, int]], continuation: bool = False
+    ) -> float:
+        """Price one vectored batch of ``(start, npages)`` read runs
+        (the buffer pool's coalescing scheduler): the head positions
+        once — the first run is priced with the caller's
+        ``continuation`` flag, follow-up runs as continuations."""
+        cost = 0.0
+        first = True
+        for start, npages in runs:
+            cost += self.read(start, npages, continuation if first else True)
+            first = False
+        return cost
+
     def write(self, start: int, npages: int = 1, continuation: bool = False) -> float:
         """Price a write request (same cost model as reads)."""
         return self._transfer(start, npages, continuation, "write")
@@ -189,6 +247,33 @@ class DiskModel:
     def stats(self) -> DiskStats:
         """A snapshot copy of the accumulated statistics."""
         return self._stats.copy()
+
+    def snapshot(self) -> DiskStats:
+        """Statistics marker for :meth:`cost_since` (the single-disk
+        face of the :class:`~repro.pagestore.store.PageStore`
+        measurement surface)."""
+        return self.stats()
+
+    def stats_since(self, snapshot: DiskStats) -> DiskStats:
+        """Statistics delta since ``snapshot``."""
+        return self._stats - snapshot
+
+    def cost_since(self, snapshot: DiskStats) -> VectoredCost:
+        """Cost of everything priced since ``snapshot``; on one disk
+        response time and device time coincide."""
+        delta = (self._stats - snapshot).total_ms
+        return VectoredCost(
+            response_ms=delta, total_ms=delta, per_disk_ms=[delta]
+        )
+
+    def measure(self):
+        """Context manager measuring a batch of requests::
+
+            with disk.measure() as cost:
+                ...issue requests...
+            print(cost.total_ms)
+        """
+        return measure_costs(self)
 
     @property
     def total_ms(self) -> float:

@@ -4,6 +4,7 @@
 
     python -m repro.eval [--scale 0.08] [--only fig8,fig12,...]
     python -m repro.eval workload [--policies lru,clock] [--scale 0.02]
+    python -m repro.eval pagestore [--disks 1,2,4,8] [--placements spatial]
 
 The default mode regenerates every table and figure of the paper in
 sequence and prints the report tables; individual experiments can be
@@ -13,7 +14,13 @@ fig10, fig11, fig12, fig14, fig16, fig17).
 The ``workload`` subcommand runs a batched mixed operation stream
 (window queries, point queries, inserts, deletes and a spatial join)
 through the shared buffer pool under one or more replacement policies
-and prints per-phase I/O statistics and hit rates.
+and prints per-phase I/O statistics and hit rates; ``--trace PATH``
+makes the run replayable (records the stream to PATH, or replays PATH
+if it already exists).
+
+The ``pagestore`` subcommand measures the sharded multi-disk page
+store: window-query device time, response time and achieved
+parallelism across disk counts and declustering placements.
 """
 
 from __future__ import annotations
@@ -72,7 +79,9 @@ def workload_main(argv: list[str]) -> int:
     from repro.buffer.policy import POLICIES
     from repro.data.tiger import generate_map
     from repro.database import SpatialDatabase
+    from repro.errors import ConfigurationError
     from repro.workload.streams import mixed_stream
+    from repro.workload.trace import load_trace, save_trace
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval workload",
@@ -107,6 +116,11 @@ def workload_main(argv: list[str]) -> int:
         "--no-join", action="store_true",
         help="skip the spatial-join operation at the end of the stream",
     )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="JSONL workload trace: replayed when PATH exists, recorded "
+        "there otherwise (runs become replayable)",
+    )
     args = parser.parse_args(argv)
 
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
@@ -123,6 +137,11 @@ def workload_main(argv: list[str]) -> int:
     # Hold the tail of the map out of the build: the stream inserts it.
     held_out = max(1, len(objects) // 50)
     resident, incoming = objects[:-held_out], objects[-held_out:]
+
+    import os
+
+    replay = args.trace is not None and os.path.exists(args.trace)
+    recorded = False
 
     print(
         format_header(
@@ -149,15 +168,31 @@ def workload_main(argv: list[str]) -> int:
             join_target.build(
                 generate_map(other_spec, seed=config.seed, id_offset=10_000_000)
             )
-        stream = mixed_stream(
-            resident,
-            n_windows=args.queries,
-            n_points=args.queries,
-            inserts=incoming,
-            deletes=[o.oid for o in resident[: held_out // 2]],
-            join_with=join_target,
-            seed=config.seed + 17,
-        )
+        if replay:
+            try:
+                stream = load_trace(args.trace, join_with=join_target)
+            except ConfigurationError as exc:
+                hint = (
+                    " (recorded with a join: run without --no-join)"
+                    if join_target is None and "join" in str(exc)
+                    else ""
+                )
+                parser.error(f"cannot replay {args.trace}: {exc}{hint}")
+            print(f"[trace: replaying {len(stream)} operations from {args.trace}]")
+        else:
+            stream = mixed_stream(
+                resident,
+                n_windows=args.queries,
+                n_points=args.queries,
+                inserts=incoming,
+                deletes=[o.oid for o in resident[: held_out // 2]],
+                join_with=join_target,
+                seed=config.seed + 17,
+            )
+            if args.trace is not None and not recorded:
+                recorded = True
+                count = save_trace(stream, args.trace)
+                print(f"[trace: recorded {count} operations to {args.trace}]")
         report = db.run_workload(
             stream, buffer_pages=args.buffer_pages, policy=policy
         )
@@ -176,11 +211,132 @@ def workload_main(argv: list[str]) -> int:
     return 0
 
 
+def pagestore_main(argv: list[str]) -> int:
+    """The ``pagestore`` subcommand: window-query cost over the sharded
+    multi-disk page store, across disk counts and placements."""
+    from repro.data.tiger import generate_map
+    from repro.data.workload import window_workload
+    from repro.database import SpatialDatabase
+    from repro.pagestore.placement import PLACEMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval pagestore",
+        description="Measure declustered query execution: device time, "
+        "response time and parallelism of window queries over the "
+        "sharded page store.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale in (0, 1] (default: REPRO_SCALE or 0.08)",
+    )
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument(
+        "--series", type=str, default="A-1", help="Table 1 series (default A-1)"
+    )
+    parser.add_argument(
+        "--disks", type=str, default="1,2,4,8",
+        help="comma-separated disk counts (default 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--placements", type=str, default="spatial,round_robin,hash",
+        help=f"comma-separated placements (valid: {', '.join(PLACEMENTS)})",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=60,
+        help="window queries per configuration (default 60)",
+    )
+    parser.add_argument(
+        "--window-area", type=float, default=1e-2,
+        help="window area as a fraction of the data space (default 1e-2)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        disk_counts = [int(d) for d in args.disks.split(",") if d.strip()]
+    except ValueError:
+        parser.error(f"--disks must be comma-separated integers: {args.disks!r}")
+    if not disk_counts or min(disk_counts) < 1:
+        parser.error(f"--disks needs positive disk counts: {args.disks!r}")
+    placements = [p.strip() for p in args.placements.split(",") if p.strip()]
+    unknown = [p for p in placements if p not in PLACEMENTS]
+    if unknown:
+        parser.error(f"unknown placements: {unknown}; valid: {tuple(PLACEMENTS)}")
+
+    if args.scale is not None:
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    else:
+        config = ExperimentConfig(seed=args.seed)
+    spec = config.spec(args.series)
+    objects = generate_map(spec, seed=config.seed)
+    windows = window_workload(
+        objects, args.window_area, n_queries=args.queries, seed=config.seed + 7
+    )
+
+    print(
+        format_header(
+            f"sharded page store — {args.series} (scale={config.scale}), "
+            f"{len(windows)} windows of {args.window_area:g} area"
+        )
+    )
+    rows = []
+    seen: set[tuple[str, int]] = set()
+    for placement in placements:
+        for n_disks in disk_counts:
+            # A single disk has no placement decision: run it once.
+            key = (placement if n_disks > 1 else "(single disk)", n_disks)
+            if key in seen:
+                continue
+            seen.add(key)
+            db = SpatialDatabase(
+                smax_bytes=spec.smax_bytes,
+                n_disks=n_disks,
+                placement=placement,
+            )
+            db.build(objects)
+            build_s = db.storage.construction_io.total_s
+            device = 0.0
+            response = 0.0
+            for window in windows:
+                mark = db.disk.snapshot()
+                db.storage.window_query(window)
+                cost = db.disk.cost_since(mark)
+                device += cost.total_ms
+                response += cost.response_ms
+            rows.append(
+                (
+                    placement if n_disks > 1 else "(single disk)",
+                    n_disks,
+                    build_s,
+                    device,
+                    response,
+                    device / response if response else 1.0,
+                )
+            )
+    print()
+    print(
+        format_table(
+            (
+                "placement",
+                "disks",
+                "build (s)",
+                "device ms",
+                "response ms",
+                "parallelism",
+            ),
+            rows,
+            title="declustered window-query execution",
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "workload":
         return workload_main(argv[1:])
+    if argv and argv[0] == "pagestore":
+        return pagestore_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Reproduce the paper's tables and figures.",

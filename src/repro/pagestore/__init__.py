@@ -1,0 +1,37 @@
+"""Sharded multi-disk page stores behind the buffer pool (Section 7).
+
+A :class:`~repro.pagestore.store.PageStore` is the device layer the
+:class:`~repro.buffer.pool.BufferPool` prices against.  The single-disk
+implementation is :class:`~repro.disk.model.DiskModel` itself; the
+:class:`~repro.pagestore.store.ShardedPageStore` declusters the page
+space across ``n_disks`` devices under a pluggable
+:class:`~repro.pagestore.placement.PlacementPolicy` (``round_robin`` /
+``hash`` / ``spatial`` Hilbert-on-extent), pricing vectored requests
+with max-over-disks response time while preserving sum-of-device-time
+totals.  Wire it in with
+``SpatialDatabase(n_disks=4, placement="spatial")``.
+"""
+
+from repro.pagestore.placement import (
+    DEFAULT_CHUNK_PAGES,
+    PLACEMENTS,
+    HashPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    SpatialPlacement,
+    make_placement,
+)
+from repro.pagestore.store import PageStore, ShardedPageStore, VectoredCost
+
+__all__ = [
+    "PageStore",
+    "ShardedPageStore",
+    "VectoredCost",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "SpatialPlacement",
+    "PLACEMENTS",
+    "DEFAULT_CHUNK_PAGES",
+    "make_placement",
+]

@@ -4,29 +4,35 @@ Section 7 closes with: "The design of a parallel cluster organization is
 the next challenge … multi-disk systems should be investigated in order
 to organize the high data volume of spatial applications more
 efficiently."  This module implements that extension on top of the
-cluster organization:
+cluster organization.
 
-* every cluster unit is assigned to one of ``n_disks`` independent
-  disks (each with its own head and cost accounting);
-* a window query reads the units it touches **in parallel** — its
-  response time is the *maximum* per-disk time, while the total device
-  time stays the sum;
-* two declustering policies are provided: ``round_robin`` over unit
-  creation order (a proxy for random placement) and ``spatial``
-  (units sorted by their region's x-center, dealt round-robin), which
-  guarantees that spatially adjacent units — exactly the ones a window
-  query co-accesses — land on different disks.
+Since the :mod:`repro.pagestore` subsystem, the reader is a thin
+adapter: the disk bank, the unit→disk routing and the parallel pricing
+(max-over-disks response time, sum-of-device-time totals) all live in
+:class:`~repro.pagestore.store.ShardedPageStore`; the reader only
+contributes the *assignment* of cluster units to disks:
+
+* ``round_robin`` — units are dealt to the disks in creation order (a
+  proxy for random placement);
+* ``spatial`` — units sorted by their region's x-center, dealt
+  round-robin, which guarantees that spatially adjacent units — exactly
+  the ones a window query co-accesses — land on different disks.
+
+For the *dynamic* variant — a live database whose whole page traffic
+(all organizations, the R*-tree pager, the spatial join) runs
+declustered — use ``SpatialDatabase(n_disks=..., placement=...)``,
+which prices every placement-policy decision in the page store itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.organization import ClusterOrganization
 from repro.core.unit import ClusterUnit
-from repro.disk.model import DiskModel
 from repro.errors import ConfigurationError
 from repro.geometry.rect import Rect
+from repro.pagestore.store import ShardedPageStore, VectoredCost
 
 __all__ = ["DECLUSTERING_POLICIES", "ParallelClusterReader", "ParallelQueryCost"]
 
@@ -34,20 +40,12 @@ DECLUSTERING_POLICIES = ("round_robin", "spatial")
 
 
 @dataclass(slots=True)
-class ParallelQueryCost:
-    """Cost of one window query on the declustered organization."""
+class ParallelQueryCost(VectoredCost):
+    """Cost of one window query on the declustered organization (a
+    :class:`~repro.pagestore.store.VectoredCost` plus the number of
+    cluster units transferred)."""
 
-    response_ms: float  # parallel response time: max over the disks
-    total_ms: float  # total device time: sum over the disks
-    per_disk_ms: list[float] = field(default_factory=list)
     units_read: int = 0
-
-    @property
-    def parallelism(self) -> float:
-        """Achieved parallel speed-up: total work / response time."""
-        if self.response_ms <= 0:
-            return 1.0
-        return self.total_ms / self.response_ms
 
 
 class ParallelClusterReader:
@@ -55,8 +53,9 @@ class ParallelClusterReader:
 
     The reader leaves the underlying organization untouched — it builds
     its own unit→disk assignment and prices unit transfers on a private
-    bank of disks, so the same organization can be examined under
-    several disk counts and policies.
+    :class:`~repro.pagestore.store.ShardedPageStore`, so the same
+    organization can be examined under several disk counts and
+    policies.
 
     Parameters
     ----------
@@ -74,8 +73,6 @@ class ParallelClusterReader:
         n_disks: int,
         policy: str = "spatial",
     ):
-        if n_disks < 1:
-            raise ConfigurationError(f"need at least one disk, got {n_disks}")
         if policy not in DECLUSTERING_POLICIES:
             raise ConfigurationError(
                 f"unknown policy '{policy}'; valid: {DECLUSTERING_POLICIES}"
@@ -83,12 +80,22 @@ class ParallelClusterReader:
         self.org = org
         self.n_disks = n_disks
         self.policy = policy
-        self.disks = [DiskModel(org.disk.params) for _ in range(n_disks)]
+        # Placement is fully explicit (every unit extent is pinned by
+        # the deal below), so the store's own default rule never fires.
+        self.store = ShardedPageStore(
+            n_disks, placement="round_robin", params=org.disk.params
+        )
         self.assignment = self._assign()
+
+    @property
+    def disks(self):
+        """The underlying disk bank (one cost model per device)."""
+        return self.store.disks
 
     # ------------------------------------------------------------------
     def _assign(self) -> dict[int, int]:
-        """unit extent start -> disk index."""
+        """unit extent start -> disk index (extents pinned in the
+        store along the way)."""
         pairs: list[tuple[ClusterUnit, Rect]] = []
         for leaf in self.org.tree.leaves():
             unit = leaf.tag
@@ -98,7 +105,9 @@ class ParallelClusterReader:
             pairs.sort(key=lambda ur: ur[1].center()[0])
         assignment: dict[int, int] = {}
         for i, (unit, _region) in enumerate(pairs):
-            assignment[unit.extent.start] = i % self.n_disks
+            disk = i % self.n_disks
+            assignment[unit.extent.start] = disk
+            self.store.place_extent(unit.extent, disk=disk)
         return assignment
 
     def disk_of(self, unit: ClusterUnit) -> int:
@@ -115,7 +124,7 @@ class ParallelClusterReader:
         the directory is memory-resident).
         """
         groups = self.org.tree.window_leaves(window)
-        per_disk = [0.0] * self.n_disks
+        snapshot = self.store.snapshot()
         units_read = 0
         for leaf, entries in groups:
             unit: ClusterUnit | None = leaf.tag
@@ -124,15 +133,13 @@ class ParallelClusterReader:
             used = min(unit.used_pages, unit.extent.npages)
             if used == 0:
                 continue
-            disk_index = self.disk_of(unit)
-            per_disk[disk_index] += self.disks[disk_index].read(
-                unit.extent.start, used
-            )
+            self.store.read(unit.extent.start, used)
             units_read += 1
+        cost = self.store.cost_since(snapshot)
         return ParallelQueryCost(
-            response_ms=max(per_disk) if per_disk else 0.0,
-            total_ms=sum(per_disk),
-            per_disk_ms=per_disk,
+            response_ms=cost.response_ms,
+            total_ms=cost.total_ms,
+            per_disk_ms=cost.per_disk_ms,
             units_read=units_read,
         )
 

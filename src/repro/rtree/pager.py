@@ -22,11 +22,16 @@ genuinely compete for the same frames.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.buffer.pool import BufferPool
 from repro.disk.allocator import Region
 from repro.disk.extent import Extent
 from repro.disk.model import DiskModel
 from repro.rtree.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
+    from repro.pagestore.store import PageStore
 
 __all__ = ["NodePager"]
 
@@ -37,7 +42,9 @@ class NodePager:
     Parameters
     ----------
     disk:
-        The shared disk cost model.
+        The shared backing store (a single
+        :class:`~repro.disk.model.DiskModel` or any
+        :class:`~repro.pagestore.store.PageStore`).
     region:
         The address-space region that owns the tree's pages.
     buffer_capacity:
@@ -58,7 +65,7 @@ class NodePager:
 
     def __init__(
         self,
-        disk: DiskModel,
+        disk: "DiskModel | PageStore",
         region: Region,
         buffer_capacity: int | None = None,
         directory_resident: bool = False,

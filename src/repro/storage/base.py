@@ -20,7 +20,10 @@ from __future__ import annotations
 import abc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
+    from repro.pagestore.store import PageStore
 
 from repro.buffer.pool import BufferPool
 from repro.constants import ENTRY_SIZE, PAGE_CAPACITY, PAGE_SIZE
@@ -82,7 +85,7 @@ class SpatialOrganization(abc.ABC):
 
     def __init__(
         self,
-        disk: DiskModel | None = None,
+        disk: "DiskModel | PageStore | None" = None,
         allocator: PageAllocator | None = None,
         page_size: int = PAGE_SIZE,
         max_entries: int = PAGE_CAPACITY,
@@ -299,9 +302,12 @@ class SpatialOrganization(abc.ABC):
     # ------------------------------------------------------------------
     def _drop_frames(self, extent) -> None:
         """Invalidate pool frames of a freed/relocated extent (its page
-        numbers may be re-allocated for different content)."""
+        numbers may be re-allocated for different content), and release
+        the extent's placement pin on a sharded backing store — stale
+        pins would route the re-allocated pages to the wrong shard."""
         for page in extent.pages():
             self.pool.discard(page)
+        self.pool.forget_extent(extent)
 
     @contextmanager
     def use_pool(self, pool: BufferPool) -> Iterator[BufferPool]:

@@ -61,6 +61,7 @@ class PrimaryOrganization(SpatialOrganization):
             return None
         extent = self._overflow.allocate(self.pages_for(obj.size_bytes))
         self._overflow_extents[obj.oid] = extent
+        self.pool.place_extent(extent, center=obj.mbr.center())
         self.pool.write_extent(extent)
         return extent
 

@@ -6,12 +6,14 @@ organization with all page traffic flowing through a single
 :class:`~repro.buffer.pool.BufferPool`, and reports per-phase
 :class:`~repro.disk.model.DiskStats` plus pool hit rates.
 :func:`~repro.workload.streams.mixed_stream` builds deterministic
-paper-style streams.  The high-level entry point is
+paper-style streams, and :mod:`repro.workload.trace` persists streams
+as replayable JSONL traces.  The high-level entry point is
 :meth:`repro.database.SpatialDatabase.run_workload`.
 """
 
 from repro.workload.engine import OP_KINDS, PhaseStats, WorkloadEngine, WorkloadReport
 from repro.workload.streams import mixed_stream
+from repro.workload.trace import load_trace, save_trace
 
 __all__ = [
     "OP_KINDS",
@@ -19,4 +21,6 @@ __all__ = [
     "WorkloadEngine",
     "WorkloadReport",
     "mixed_stream",
+    "save_trace",
+    "load_trace",
 ]

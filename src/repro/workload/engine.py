@@ -46,7 +46,14 @@ Operations are plain tuples:
 
 @dataclass(slots=True)
 class PhaseStats:
-    """Accumulated statistics of one operation kind within a workload."""
+    """Accumulated statistics of one operation kind within a workload.
+
+    ``io`` accounts **device time** (the disk resource consumed; summed
+    over the devices of a sharded store), ``response_ms`` the
+    **response time** the clients observed — per operation the busiest
+    disk's share, so declustered execution makes it smaller than the
+    device time.  On a single disk the two are equal.
+    """
 
     kind: str
     operations: int = 0
@@ -54,11 +61,19 @@ class PhaseStats:
     hits: int = 0
     misses: int = 0
     io: DiskStats = field(default_factory=DiskStats)
+    response_ms: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def parallelism(self) -> float:
+        """Achieved parallel speed-up: device time / response time."""
+        if self.response_ms <= 0:
+            return 1.0
+        return self.io.total_ms / self.response_ms
 
 
 @dataclass(slots=True)
@@ -93,6 +108,10 @@ class WorkloadReport:
         total = hits + misses
         return hits / total if total else 0.0
 
+    @property
+    def total_response_ms(self) -> float:
+        return sum(p.response_ms for p in self.phases)
+
     def format(self, title: str | None = None) -> str:
         """Aligned per-phase table (the `repro.eval workload` output)."""
         from repro.eval.report import format_table
@@ -108,6 +127,7 @@ class WorkloadReport:
                     p.io.requests,
                     p.io.pages_transferred,
                     p.io.total_ms,
+                    p.response_ms,
                 )
             )
         rows.append(
@@ -119,13 +139,23 @@ class WorkloadReport:
                 self.total_io.requests,
                 self.total_io.pages_transferred,
                 self.total_io.total_ms,
+                self.total_response_ms,
             )
         )
         header = title or (
             f"workload: policy={self.policy}, buffer={self.buffer_pages} pages"
         )
         return format_table(
-            ("phase", "ops", "results", "hit rate", "requests", "pages", "io ms"),
+            (
+                "phase",
+                "ops",
+                "results",
+                "hit rate",
+                "requests",
+                "pages",
+                "device ms",
+                "response ms",
+            ),
             rows,
             title=header,
         )
@@ -146,7 +176,7 @@ class WorkloadEngine:
     def __init__(self, storage: SpatialOrganization, pool: BufferPool):
         self.storage = storage
         self.pool = pool
-        self._io_mark = DiskStats()
+        self._measure_mark = None
         self._hits_mark = 0
         self._misses_mark = 0
 
@@ -184,12 +214,16 @@ class WorkloadEngine:
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> None:
-        self._io_mark = self.storage.disk.stats()
+        self._measure_mark = self.storage.disk.snapshot()
         self._hits_mark = self.pool.hits
         self._misses_mark = self.pool.misses
 
     def _account(self, phase: PhaseStats) -> None:
-        phase.io = phase.io + (self.storage.disk.stats() - self._io_mark)
+        disk = self.storage.disk
+        phase.io = phase.io + disk.stats_since(self._measure_mark)
+        # Per operation, the response time is the busiest disk's delta
+        # (equal to the device time on a single disk).
+        phase.response_ms += disk.cost_since(self._measure_mark).response_ms
         phase.hits += self.pool.hits - self._hits_mark
         phase.misses += self.pool.misses - self._misses_mark
 

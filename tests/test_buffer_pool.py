@@ -248,6 +248,56 @@ class TestCachingPool:
         assert delta.seeks == 1  # follow-up run is a continuation
         assert delta.pages_transferred == 5
 
+    def test_read_pages_pass_through_first_access_seek(self):
+        """Regression (seek-accounting audit): in pass-through mode the
+        first run of `read_pages` must charge exactly the positioning
+        seek that the equivalent `read()` sequence charges — one fresh
+        request, follow-up runs as continuations."""
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=0)
+        cost = pool.read_pages([5, 6, 9, 10, 20])
+        stats = disk.stats()
+        assert stats.seeks == 1  # one positioning seek for the batch
+        assert stats.rotations == 3  # one latency per run
+        assert stats.pages_transferred == 5
+        # ... identical to pricing the runs through read():
+        other = DiskModel()
+        reference = BufferPool(other, capacity=0)
+        expected = reference.read(5, 2)
+        expected += reference.read(9, 2, continuation=True)
+        expected += reference.read(20, 1, continuation=True)
+        assert cost == pytest.approx(expected)
+        assert disk.stats() == other.stats()
+        assert pool.misses == 5 and pool.hits == 0
+
+    def test_read_pages_continuation_flag(self):
+        """`read_pages` accepts the same continuation flag as `read()`:
+        a caller already positioned inside a cluster unit pays no
+        fresh seek for the first run."""
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=0)
+        cost = pool.read_pages([5, 6, 9], continuation=True)
+        stats = disk.stats()
+        assert stats.seeks == 0
+        assert stats.rotations == 2
+        assert cost == pytest.approx(
+            disk.params.continuation_ms(2) + disk.params.continuation_ms(1)
+        )
+
+    def test_read_pages_first_transferred_run_pays_seek_after_hits(self):
+        """With a warm pool, leading resident pages must not hand the
+        continuation discount to the first run that actually
+        transfers (the same rule read() follows)."""
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=16)
+        pool.admit(1)
+        pool.admit(2)
+        before = disk.stats()
+        pool.read_pages([1, 2, 9, 10])
+        delta = disk.stats() - before
+        assert delta.seeks == 1  # the (9, 2) run is a fresh request
+        assert delta.pages_transferred == 2
+
     def test_per_object_read_seek_survives_absorbed_first_access(self):
         """When a warm pool fully absorbs the first object's access,
         the next transferring access must still pay the positioning

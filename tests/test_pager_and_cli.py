@@ -151,6 +151,28 @@ class TestEvalCLI:
         with pytest.raises(ConfigurationError):
             main(["--scale", "7", "--only", "table1"])
 
+    def test_pagestore_subcommand(self, capsys):
+        rc = main([
+            "pagestore",
+            "--scale", "0.003",
+            "--queries", "4",
+            "--disks", "1,2",
+            "--placements", "spatial",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "declustered window-query execution" in out
+        assert "(single disk)" in out and "spatial" in out
+        assert "parallelism" in out
+
+    def test_pagestore_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            main(["pagestore", "--placements", "bogus"])
+
+    def test_pagestore_rejects_malformed_disks(self):
+        with pytest.raises(SystemExit):
+            main(["pagestore", "--disks", "two"])
+
 
 class TestQueryResultMetrics:
     def test_ms_per_4kb(self):
