@@ -43,6 +43,16 @@ from repro.errors import (
     TreeError,
 )
 from repro.geometry import Polygon, Polyline, Rect, SpatialObject
+from repro.iosched import (
+    PREFETCHERS,
+    SCHEDULERS,
+    AccessPlan,
+    IOScheduler,
+    OverlapScheduler,
+    Prefetcher,
+    SyncScheduler,
+    VirtualClock,
+)
 from repro.join import JoinResult, spatial_join
 from repro.pagestore import (
     PLACEMENTS,
@@ -57,6 +67,7 @@ from repro.storage import (
     SecondaryOrganization,
 )
 from repro.workload import (
+    SessionsReport,
     WorkloadEngine,
     WorkloadReport,
     load_trace,
@@ -86,9 +97,18 @@ __all__ = [
     "POLICIES",
     "WorkloadEngine",
     "WorkloadReport",
+    "SessionsReport",
     "mixed_stream",
     "save_trace",
     "load_trace",
+    "AccessPlan",
+    "IOScheduler",
+    "SyncScheduler",
+    "OverlapScheduler",
+    "VirtualClock",
+    "Prefetcher",
+    "SCHEDULERS",
+    "PREFETCHERS",
     "PageStore",
     "ShardedPageStore",
     "VectoredCost",

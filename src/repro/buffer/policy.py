@@ -37,9 +37,20 @@ __all__ = [
     "ClockBuffer",
     "LRUKBuffer",
     "POLICIES",
+    "hit_ratio",
     "make_buffer",
     "policy_name",
 ]
+
+
+def hit_ratio(hits: int, misses: int) -> float:
+    """Shared hit-rate rule: ``hits / (hits + misses)``, and 0.0 when
+    nothing was accessed at all.  Every hit-rate property (pools,
+    replacement buffers, workload phases and reports, join results)
+    goes through this helper so the empty-denominator convention is
+    one decision, not one per call site."""
+    total = hits + misses
+    return hits / total if total else 0.0
 
 
 @runtime_checkable
@@ -191,8 +202,7 @@ class PolicyBuffer:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return hit_ratio(self.hits, self.misses)
 
     def reset_stats(self) -> None:
         self.hits = 0

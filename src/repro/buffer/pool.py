@@ -28,10 +28,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
-from repro.buffer.policy import ReplacementPolicy, make_buffer, policy_name
+from repro.buffer.policy import ReplacementPolicy, hit_ratio, make_buffer, policy_name
 from repro.disk.extent import Extent
 from repro.disk.model import DiskModel, DiskStats
 from repro.errors import ConfigurationError
+from repro.iosched.prefetch import Prefetcher, make_prefetcher
+from repro.iosched.request import AccessPlan
+from repro.iosched.scheduler import IOScheduler, make_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
     from repro.pagestore.store import PageStore
@@ -74,9 +77,18 @@ class BufferPool:
         An existing replacement buffer to adopt as the frame table
         (overrides ``capacity``/``policy``).  ``None`` entries written
         back on eviction go through this pool's disk.
+    scheduler:
+        The :class:`~repro.iosched.scheduler.IOScheduler` executing
+        submitted access plans (name or instance).  ``None`` selects the
+        shared ``sync`` scheduler — bit-identical immediate pricing.
+    prefetcher:
+        Optional :class:`~repro.iosched.prefetch.Prefetcher` (name or
+        instance) consulted after every submitted plan.  ``None`` /
+        ``"none"`` disables read-ahead; pass-through pools never
+        prefetch (there are no frames to keep pages in).
     """
 
-    __slots__ = ("disk", "frames", "hits", "misses")
+    __slots__ = ("disk", "frames", "hits", "misses", "scheduler", "prefetcher")
 
     def __init__(
         self,
@@ -84,10 +96,14 @@ class BufferPool:
         capacity: int = 0,
         policy: str = "lru",
         store: ReplacementPolicy | None = None,
+        scheduler: "IOScheduler | str | None" = None,
+        prefetcher: "Prefetcher | str | None" = None,
     ):
         if capacity < 0:
             raise ConfigurationError(f"pool capacity must be >= 0, got {capacity}")
         self.disk = disk
+        self.scheduler = make_scheduler(scheduler)
+        self.prefetcher = make_prefetcher(prefetcher)
         if store is not None:
             self.frames: ReplacementPolicy | None = store
         elif capacity > 0:
@@ -129,8 +145,7 @@ class BufferPool:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return hit_ratio(self.hits, self.misses)
 
     def stats(self) -> DiskStats:
         """Snapshot of the underlying disk statistics."""
@@ -181,6 +196,62 @@ class BufferPool:
         """Drop a page without write-back (e.g. its extent was freed)."""
         if self.frames is not None:
             self.frames.discard(page)
+
+    # ------------------------------------------------------------------
+    # access plans
+    # ------------------------------------------------------------------
+    def submit(self, plan: AccessPlan) -> float:
+        """Execute a declarative :class:`~repro.iosched.request.AccessPlan`
+        through this pool's I/O scheduler.
+
+        Under the default ``sync`` scheduler the returned cost is the
+        priced sum of the plan's requests — exactly what the equivalent
+        imperative call chain would have returned; under ``overlap`` it
+        is the client-observed response time on the virtual clock.
+        After a plan that transferred anything, the pool's prefetcher
+        (if any) may read ahead with a non-blocking follow-up plan.
+        """
+        cost = self.scheduler.execute(plan, self)
+        if (
+            self.prefetcher is not None
+            and self.frames is not None
+            and not plan.prefetch
+            and plan.executed
+        ):
+            self._prefetch_after(plan)
+        return cost
+
+    def _prefetch_after(self, plan: AccessPlan) -> None:
+        """Load the prefetcher's suggested runs (missing pages only)
+        with a non-blocking plan: no hit/miss accounting, no client
+        wait under the overlap scheduler."""
+        assert self.prefetcher is not None and self.frames is not None
+        suggestions = self.prefetcher.suggest(plan)
+        if not suggestions:
+            return
+        missing = sorted(
+            {
+                page
+                for start, npages in suggestions
+                for page in range(start, start + npages)
+                if page >= 0 and page not in self.frames
+            }
+        )
+        if not missing:
+            return
+        ahead = AccessPlan("prefetch", blocking=False, prefetch=True)
+        ahead.load_pages(missing)
+        self.scheduler.execute(ahead, self)
+
+    def load_pages(self, pages: Sequence[int]) -> float:
+        """Make a sorted set of pages resident through the coalescing
+        scheduler *without* touching the hit/miss statistics — the
+        transfer primitive behind prefetching (a speculative read is
+        not a demand miss)."""
+        missing = [p for p in pages if not (self.frames is not None and p in self.frames)]
+        cost = self._read_missing(missing, continuation=False)
+        self.admit_all(missing)
+        return cost
 
     # ------------------------------------------------------------------
     # reads

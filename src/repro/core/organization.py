@@ -27,11 +27,12 @@ from repro.core.techniques import (
     TECHNIQUES,
     adaptive_prefers_complete,
     geometric_threshold,
-    read_complete,
-    read_optimum,
-    read_per_object,
-    read_slm,
+    plan_complete,
+    plan_optimum,
+    plan_per_object,
+    plan_slm,
 )
+from repro.iosched.request import AccessPlan
 from repro.core.unit import ClusterUnit
 from repro.disk.buddy import BuddyAllocator, FixedUnitAllocator
 from repro.disk.extent import Extent
@@ -333,38 +334,51 @@ class ClusterOrganization(SpatialOrganization):
         window: Rect | None = None,
         selective: bool = False,
     ) -> list[SpatialObject]:
+        """Emit one declarative access plan per data-page group —
+        oversize extents first, then the cluster unit under the
+        configured technique — and submit it to the pool's scheduler.
+        Request order matches the historical imperative chain, so the
+        default sync scheduler prices identically."""
         candidates: list[SpatialObject] = []
         for leaf, entries in groups:
+            plan = AccessPlan("cluster.retrieve")
             in_unit: list[int] = []
             for entry in entries:
                 assert entry.oid is not None
                 extent = self._oversize.get(entry.oid)
                 if extent is not None:
-                    self.pool.read_extent(extent)
+                    plan.read_extent(extent)
                     candidates.append(self.objects[entry.oid])
                 else:
                     in_unit.append(entry.oid)
-            if not in_unit:
-                continue
-            unit: ClusterUnit | None = leaf.tag
-            if unit is None:
-                raise StorageError(
-                    f"data page {leaf.node_id} has objects but no cluster unit"
-                )
-            self._read_unit(unit, in_unit, leaf, window, selective)
-            candidates.extend(self.objects[oid] for oid in in_unit)
+            if in_unit:
+                unit: ClusterUnit | None = leaf.tag
+                if unit is None:
+                    raise StorageError(
+                        f"data page {leaf.node_id} has objects but no cluster unit"
+                    )
+                self._read_unit(plan, unit, in_unit, leaf, window, selective)
+                candidates.extend(self.objects[oid] for oid in in_unit)
+            if plan:
+                self.pool.submit(plan)
         return candidates
 
     def _read_unit(
         self,
+        plan: AccessPlan,
         unit: ClusterUnit,
         oids: list[int],
         leaf: Node,
         window: Rect | None,
         selective: bool,
     ) -> None:
-        """Price the object transfer for one cluster unit according to
-        the configured technique."""
+        """Schedule the object transfer for one cluster unit onto the
+        plan according to the configured technique."""
+        used = self._priced_pages(unit)
+        if used:
+            # Cluster-unit-aware prefetchers complete the rest of the
+            # unit's used pages after the plan executes.
+            plan.extent = Extent(unit.extent.start, used)
         if selective:
             # Point queries dereference each object individually through
             # the unit's relative addresses (Section 4.2.2) — the same
@@ -372,41 +386,41 @@ class ClusterOrganization(SpatialOrganization):
             # Figure 12 shows "almost no difference" between the two.
             for oid in oids:
                 start, npages = unit.page_span(oid)
-                self.pool.read(unit.extent.start + start, npages)
+                plan.read(unit.extent.start + start, npages)
             return
         technique = self.technique
         if technique == "threshold" and window is not None:
             region = leaf.mbr()
             threshold = geometric_threshold(
-                max(1, self._priced_pages(unit)),
+                max(1, used),
                 self._avg_entries_per_page(),
                 self._avg_pages_per_object(),
                 self.disk.params,
             )
             if region.overlap_fraction(window) >= threshold:
-                read_complete(self.pool, unit)
+                plan_complete(plan, unit)
             else:
-                read_per_object(self.pool, unit, oids)
+                plan_per_object(plan, unit, oids)
         elif technique == "adaptive":
             # Extension beyond the paper: the filter step already knows
             # exactly how many objects the unit must deliver.
             if adaptive_prefers_complete(
-                max(1, self._priced_pages(unit)),
+                max(1, used),
                 len(oids),
                 self._avg_pages_per_object(),
                 self.disk.params,
             ):
-                read_complete(self.pool, unit)
+                plan_complete(plan, unit)
             else:
-                read_per_object(self.pool, unit, oids)
+                plan_per_object(plan, unit, oids)
         elif technique == "complete" or technique == "threshold":
-            read_complete(self.pool, unit)
+            plan_complete(plan, unit)
         elif technique == "page":
-            read_per_object(self.pool, unit, oids)
+            plan_per_object(plan, unit, oids)
         elif technique == "slm":
-            read_slm(self.pool, unit, oids)
+            plan_slm(plan, unit, oids, self.disk.params.slm_gap_pages)
         elif technique == "optimum":
-            read_optimum(self.pool, unit, oids)
+            plan_optimum(plan, unit, oids)
         else:  # pragma: no cover - guarded in __init__
             raise ConfigurationError(f"unknown technique {technique}")
 

@@ -30,6 +30,8 @@ from repro.disk.model import DiskModel
 from repro.disk.params import DiskParameters
 from repro.core.unit import ClusterUnit
 from repro.errors import ConfigurationError
+from repro.iosched.request import AccessPlan
+from repro.iosched.scheduler import SYNC
 
 #: Anything with a ``read(start, npages, continuation)`` request surface:
 #: the raw disk model, or (normally) the shared buffer pool, which skips
@@ -40,6 +42,10 @@ __all__ = [
     "TECHNIQUES",
     "slm_schedule",
     "geometric_threshold",
+    "plan_complete",
+    "plan_per_object",
+    "plan_slm",
+    "plan_optimum",
     "read_complete",
     "read_per_object",
     "read_slm",
@@ -122,64 +128,114 @@ def adaptive_prefers_complete(
 
 
 # ----------------------------------------------------------------------
-# pricing helpers: each returns the relative page runs it transferred
+# plan builders: each appends its technique's declarative requests to an
+# AccessPlan and returns the relative page runs it scheduled
 # ----------------------------------------------------------------------
-def read_complete(disk: PageReader, unit: ClusterUnit) -> list[tuple[int, int]]:
-    """Transfer the whole unit with a single request."""
+def plan_complete(plan: AccessPlan, unit: ClusterUnit) -> list[tuple[int, int]]:
+    """Schedule the whole unit as a single request."""
     used = unit.used_pages
     if used == 0:
         return []
-    disk.read(unit.extent.start, used)
+    plan.read(unit.extent.start, used)
     return [(0, used)]
 
 
-def read_per_object(
-    disk: PageReader, unit: ClusterUnit, oids: list[int]
+def plan_per_object(
+    plan: AccessPlan, unit: ClusterUnit, oids: list[int]
 ) -> list[tuple[int, int]]:
     """Object-by-object access: one seek positions the head on the
     unit, then every object pays a rotational delay plus its transfer
     (the ``t_page`` model of Section 5.4.1).
 
-    The seek is charged by the first access that actually transfers:
-    behind a warm buffer pool an access may be absorbed entirely by
-    resident pages (cost 0), and a request that never positioned the
-    head must not hand the continuation discount to its successors."""
+    The requests share one continuation chain, so the seek is charged
+    by the first access that actually transfers: behind a warm buffer
+    pool an access may be absorbed entirely by resident pages (cost 0),
+    and a request that never positioned the head must not hand the
+    continuation discount to its successors."""
     runs: list[tuple[int, int]] = []
-    first = True
+    chain = plan.new_chain()
     for oid in oids:
         start, npages = unit.page_span(oid)
-        cost = disk.read(unit.extent.start + start, npages, continuation=not first)
-        if cost:
-            first = False
+        plan.read(unit.extent.start + start, npages, chain=chain)
         runs.append((start, npages))
     return runs
 
 
-def read_slm(
-    disk: PageReader, unit: ClusterUnit, oids: list[int]
+def plan_slm(
+    plan: AccessPlan, unit: ClusterUnit, oids: list[int], gap_pages: int
 ) -> list[tuple[int, int]]:
     """SLM read schedule over the pages of the requested objects.
 
-    As in :func:`read_per_object`, only a run that actually transferred
+    As in :func:`plan_per_object`, only a run that actually transfers
     (non-zero cost behind a warm pool) unlocks the continuation
     discount for the following runs."""
     requested = unit.requested_pages(oids)
-    runs = slm_schedule(requested, disk.params.slm_gap_pages)
-    first = True
+    runs = slm_schedule(requested, gap_pages)
+    chain = plan.new_chain()
     for start, npages in runs:
-        cost = disk.read(unit.extent.start + start, npages, continuation=not first)
-        if cost:
-            first = False
+        plan.read(unit.extent.start + start, npages, chain=chain)
     return runs
 
 
-def read_optimum(
-    disk: PageReader, unit: ClusterUnit, oids: list[int]
+def plan_optimum(
+    plan: AccessPlan, unit: ClusterUnit, oids: list[int]
 ) -> list[tuple[int, int]]:
     """Analytic lower bound: one seek, one rotational delay, and only
     the requested pages transferred (Section 5.4.3)."""
     requested = unit.requested_pages(oids)
     if not requested:
         return []
-    disk.read(unit.extent.start, len(requested))
+    plan.read(unit.extent.start, len(requested))
     return [(page, 1) for page in requested]
+
+
+# ----------------------------------------------------------------------
+# imperative wrappers: build the plan and execute it immediately (tests
+# and ad-hoc pricing; the organizations submit whole plans instead)
+# ----------------------------------------------------------------------
+def _execute(plan: AccessPlan, disk: PageReader) -> None:
+    """Run a freshly built plan against a pool (its own scheduler) or a
+    raw disk model (the stateless sync scheduler prices it directly)."""
+    submit = getattr(disk, "submit", None)
+    if submit is not None:
+        submit(plan)
+    else:
+        SYNC.execute(plan, disk)  # type: ignore[arg-type] - read-only plan
+
+
+def read_complete(disk: PageReader, unit: ClusterUnit) -> list[tuple[int, int]]:
+    """Transfer the whole unit with a single request."""
+    plan = AccessPlan("unit.complete")
+    runs = plan_complete(plan, unit)
+    _execute(plan, disk)
+    return runs
+
+
+def read_per_object(
+    disk: PageReader, unit: ClusterUnit, oids: list[int]
+) -> list[tuple[int, int]]:
+    """Object-by-object access (see :func:`plan_per_object`)."""
+    plan = AccessPlan("unit.per_object")
+    runs = plan_per_object(plan, unit, oids)
+    _execute(plan, disk)
+    return runs
+
+
+def read_slm(
+    disk: PageReader, unit: ClusterUnit, oids: list[int]
+) -> list[tuple[int, int]]:
+    """SLM read schedule (see :func:`plan_slm`)."""
+    plan = AccessPlan("unit.slm")
+    runs = plan_slm(plan, unit, oids, disk.params.slm_gap_pages)
+    _execute(plan, disk)
+    return runs
+
+
+def read_optimum(
+    disk: PageReader, unit: ClusterUnit, oids: list[int]
+) -> list[tuple[int, int]]:
+    """Analytic lower bound (see :func:`plan_optimum`)."""
+    plan = AccessPlan("unit.optimum")
+    runs = plan_optimum(plan, unit, oids)
+    _execute(plan, disk)
+    return runs

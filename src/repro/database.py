@@ -21,6 +21,8 @@ from repro.errors import ConfigurationError, ObjectTooLargeError
 from repro.geometry.feature import SpatialObject
 from repro.geometry.polyline import Polyline
 from repro.geometry.rect import Rect
+from repro.iosched.prefetch import make_prefetcher, prefetcher_name
+from repro.iosched.scheduler import make_scheduler, scheduler_name
 from repro.join.multistep import JoinResult, spatial_join
 from repro.pagestore.placement import make_placement
 from repro.pagestore.store import PageStore, ShardedPageStore
@@ -68,6 +70,22 @@ class SpatialDatabase:
     chunk_pages:
         Declustering chunk granularity for pages no storage manager
         pins explicitly (``None`` = the pagestore default).
+    scheduler:
+        I/O scheduler servicing submitted access plans: ``"sync"``
+        (default — immediate in-order execution, bit-identical to the
+        paper's pricing) or ``"overlap"`` (simulated asynchronous
+        completion on a virtual clock: requests overlap across disks
+        and across concurrent client sessions).  Also accepts a ready
+        :class:`~repro.iosched.scheduler.IOScheduler` instance —
+        :meth:`attach` shares this database's instance so joined
+        relations run on one virtual clock.
+    prefetch:
+        Read-ahead policy fed by the coalescing scheduler's runs:
+        ``None``/``"none"`` (default — no prefetching; keeps figures
+        bit-identical), ``"sequential"`` or ``"cluster"`` (see
+        :mod:`repro.iosched.prefetch`).  Prefetching needs a caching
+        pool; the organizations' pass-through measurement pools skip
+        it, the workload/sessions pools use it.
     max_object_bytes:
         Optional hard limit on the exact-representation size of inserted
         objects; :class:`~repro.errors.ObjectTooLargeError` is raised
@@ -98,6 +116,8 @@ class SpatialDatabase:
         n_disks: int = 1,
         placement: str = "spatial",
         chunk_pages: int | None = None,
+        scheduler="sync",
+        prefetch=None,
         page_size: int = PAGE_SIZE,
         max_entries: int = PAGE_CAPACITY,
         construction_buffer_pages: int = 256,
@@ -130,6 +150,8 @@ class SpatialDatabase:
         self.allocator = _allocator or PageAllocator()
         self.max_object_bytes = max_object_bytes
         self.name = name
+        self.scheduler = make_scheduler(scheduler)
+        self.prefetcher = make_prefetcher(prefetch)
         common = dict(
             disk=self.disk,
             allocator=self.allocator,
@@ -137,6 +159,8 @@ class SpatialDatabase:
             max_entries=max_entries,
             construction_buffer_pages=construction_buffer_pages,
             region_prefix=name,
+            scheduler=self.scheduler,
+            prefetch=self.prefetcher,
         )
         if organization == "cluster":
             if smax_bytes is None:
@@ -236,6 +260,8 @@ class SpatialDatabase:
             technique=technique,
             evaluate_exact=evaluate_exact,
             policy=policy,
+            scheduler=self.scheduler,
+            prefetch=self.prefetcher,
         )
 
     # ------------------------------------------------------------------
@@ -262,16 +288,55 @@ class SpatialDatabase:
         """
         from repro.workload.engine import WorkloadEngine
 
-        pool = BufferPool(self.disk, capacity=buffer_pages, policy=policy)
+        pool = self._workload_pool(buffer_pages, policy)
         return WorkloadEngine(self.storage, pool).run(operations)
+
+    def run_sessions(
+        self,
+        sessions,
+        buffer_pages: int = 1600,
+        policy: str = "lru",
+    ):
+        """Execute several client operation streams as interleaved
+        concurrent sessions over one shared buffer pool.
+
+        ``sessions`` maps client names to operation streams (same
+        tuple formats as :meth:`run_workload`).  The interleaving is
+        deterministic round-robin.  Under ``scheduler="overlap"`` the
+        clients share the virtual clock's per-disk service queues, so
+        a declustered store overlaps their I/O and the report's
+        ``makespan_ms`` drops below the serial response time; under
+        the default ``sync`` scheduler the same stream executes
+        serially.  Returns a
+        :class:`~repro.workload.engine.SessionsReport`.
+        """
+        from repro.workload.engine import WorkloadEngine
+
+        pool = self._workload_pool(buffer_pages, policy)
+        return WorkloadEngine(self.storage, pool).run_sessions(sessions)
+
+    def _workload_pool(self, buffer_pages: int, policy: str) -> BufferPool:
+        """A caching pool on this database's disk, scheduler and
+        prefetcher (the workload/sessions engines' shared pool)."""
+        return BufferPool(
+            self.disk,
+            capacity=buffer_pages,
+            policy=policy,
+            scheduler=self.scheduler,
+            prefetcher=self.prefetcher,
+        )
 
     def attach(self, name: str, **kwargs) -> "SpatialDatabase":
         """A second database (relation) on this database's disk — the
-        setup a spatial join needs."""
+        setup a spatial join needs.  The attached database shares this
+        database's I/O scheduler (one virtual clock) unless the caller
+        overrides ``scheduler=``/``prefetch=``."""
         if name == self.name:
             raise ConfigurationError(
                 f"attached database needs a name different from '{self.name}'"
             )
+        kwargs.setdefault("scheduler", self.scheduler)
+        kwargs.setdefault("prefetch", self.prefetcher)
         return SpatialDatabase(
             name=name, _disk=self.disk, _allocator=self.allocator, **kwargs
         )
@@ -291,6 +356,16 @@ class SpatialDatabase:
     def n_disks(self) -> int:
         """Number of independent disks behind the buffer pool."""
         return getattr(self.disk, "n_disks", 1)
+
+    @property
+    def io_scheduler(self) -> str:
+        """Name of the I/O scheduler servicing access plans."""
+        return scheduler_name(self.scheduler)
+
+    @property
+    def prefetch_policy(self) -> str:
+        """Name of the prefetch policy ('none' when disabled)."""
+        return prefetcher_name(self.prefetcher)
 
     def occupied_pages(self) -> int:
         return self.storage.occupied_pages()

@@ -5,6 +5,7 @@
     python -m repro.eval [--scale 0.08] [--only fig8,fig12,...]
     python -m repro.eval workload [--policies lru,clock] [--scale 0.02]
     python -m repro.eval pagestore [--disks 1,2,4,8] [--placements spatial]
+    python -m repro.eval iosched [--schedulers sync,overlap] [--prefetch none,cluster]
 
 The default mode regenerates every table and figure of the paper in
 sequence and prints the report tables; individual experiments can be
@@ -21,6 +22,12 @@ if it already exists).
 The ``pagestore`` subcommand measures the sharded multi-disk page
 store: window-query device time, response time and achieved
 parallelism across disk counts and declustering placements.
+
+The ``iosched`` subcommand ablates the request-based I/O pipeline:
+two client sessions run interleaved over a declustered store under
+each (scheduler, prefetch) combination, reporting device time, summed
+client response, workload makespan and the speed-up of overlapped
+asynchronous service over the synchronous baseline.
 """
 
 from __future__ import annotations
@@ -121,12 +128,35 @@ def workload_main(argv: list[str]) -> int:
         help="JSONL workload trace: replayed when PATH exists, recorded "
         "there otherwise (runs become replayable)",
     )
+    parser.add_argument(
+        "--scheduler", type=str, default="sync",
+        help="I/O scheduler servicing access plans: sync (default, the "
+        "paper's pricing) or overlap (virtual-clock async simulation)",
+    )
+    parser.add_argument(
+        "--prefetch", type=str, default="none",
+        help="read-ahead policy: none (default), sequential or cluster",
+    )
+    parser.add_argument(
+        "--disks", type=int, default=1,
+        help="number of disks behind the buffer pool (default 1)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.iosched import PREFETCHERS, SCHEDULERS
 
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     unknown = [p for p in policies if p not in POLICIES]
     if unknown:
         parser.error(f"unknown policies: {unknown}; valid: {tuple(POLICIES)}")
+    if args.scheduler not in SCHEDULERS:
+        parser.error(
+            f"unknown scheduler '{args.scheduler}'; valid: {SCHEDULERS}"
+        )
+    if args.prefetch not in PREFETCHERS:
+        parser.error(
+            f"unknown prefetch policy '{args.prefetch}'; valid: {PREFETCHERS}"
+        )
 
     if args.scale is not None:
         config = ExperimentConfig(scale=args.scale, seed=args.seed)
@@ -152,7 +182,13 @@ def workload_main(argv: list[str]) -> int:
     )
     summary: list[tuple[str, float, float]] = []
     for policy in policies:
-        db_kwargs = dict(organization=args.organization, name="r")
+        db_kwargs = dict(
+            organization=args.organization,
+            name="r",
+            n_disks=args.disks,
+            scheduler=args.scheduler,
+            prefetch=args.prefetch,
+        )
         if args.organization == "cluster":
             db_kwargs["smax_bytes"] = spec.smax_bytes
         db = SpatialDatabase(**db_kwargs)
@@ -330,6 +366,149 @@ def pagestore_main(argv: list[str]) -> int:
     return 0
 
 
+def iosched_main(argv: list[str]) -> int:
+    """The ``iosched`` subcommand: two interleaved client sessions over
+    a declustered store, ablated across I/O schedulers and prefetch
+    policies."""
+    from repro.data.tiger import generate_map
+    from repro.database import SpatialDatabase
+    from repro.iosched import PREFETCHERS, SCHEDULERS
+    from repro.workload.streams import mixed_stream
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval iosched",
+        description="Ablate the request-based I/O pipeline: concurrent "
+        "client sessions under sync vs overlapped (async-simulated) "
+        "scheduling, with and without prefetching.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale in (0, 1] (default: REPRO_SCALE or 0.08)",
+    )
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument(
+        "--series", type=str, default="A-1", help="Table 1 series (default A-1)"
+    )
+    parser.add_argument(
+        "--disks", type=int, default=4,
+        help="disks behind the buffer pool (default 4)",
+    )
+    parser.add_argument(
+        "--placement", type=str, default="spatial",
+        help="declustering placement (default spatial)",
+    )
+    parser.add_argument(
+        "--schedulers", type=str, default="sync,overlap",
+        help=f"comma-separated schedulers (valid: {', '.join(SCHEDULERS)})",
+    )
+    parser.add_argument(
+        "--prefetch", type=str, default="none,cluster",
+        help=f"comma-separated prefetch policies (valid: {', '.join(PREFETCHERS)})",
+    )
+    parser.add_argument(
+        "--buffer-pages", type=int, default=400,
+        help="shared pool size in page frames (default 400)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=40,
+        help="window queries per client (default 40)",
+    )
+    args = parser.parse_args(argv)
+
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    unknown = [s for s in schedulers if s not in SCHEDULERS]
+    if unknown:
+        parser.error(f"unknown schedulers: {unknown}; valid: {SCHEDULERS}")
+    prefetchers = [p.strip() for p in args.prefetch.split(",") if p.strip()]
+    unknown = [p for p in prefetchers if p not in PREFETCHERS]
+    if unknown:
+        parser.error(f"unknown prefetch policies: {unknown}; valid: {PREFETCHERS}")
+    if args.disks < 1:
+        parser.error(f"--disks needs a positive disk count: {args.disks!r}")
+
+    if args.scale is not None:
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    else:
+        config = ExperimentConfig(seed=args.seed)
+    spec = config.spec(args.series)
+    objects = generate_map(spec, seed=config.seed)
+
+    def client_streams():
+        return {
+            "alpha": mixed_stream(
+                objects, n_windows=args.queries, n_points=args.queries // 2,
+                seed=config.seed + 3,
+            ),
+            "beta": mixed_stream(
+                objects, n_windows=args.queries, n_points=args.queries // 2,
+                seed=config.seed + 5,
+            ),
+        }
+
+    print(
+        format_header(
+            f"I/O scheduler ablation — {args.series} (scale={config.scale}), "
+            f"{args.disks} disks ({args.placement}), 2 interleaved clients, "
+            f"{args.buffer_pages}-page pool"
+        )
+    )
+    measured = []
+    for scheduler in schedulers:
+        for prefetch in prefetchers:
+            db = SpatialDatabase(
+                smax_bytes=spec.smax_bytes,
+                n_disks=args.disks,
+                placement=args.placement,
+                scheduler=scheduler,
+                prefetch=prefetch,
+            )
+            db.build(objects)
+            report = db.run_sessions(
+                client_streams(), buffer_pages=args.buffer_pages
+            )
+            measured.append((scheduler, prefetch, report))
+    # Speedups are relative to the synchronous un-prefetched baseline;
+    # when that configuration was not requested, fall back to the first
+    # one measured (then the column is only an internal comparison).
+    baseline_ms = next(
+        (
+            r.makespan_ms
+            for s, p, r in measured
+            if s == "sync" and p == "none"
+        ),
+        measured[0][2].makespan_ms if measured else 0.0,
+    )
+    rows = [
+        (
+            scheduler,
+            prefetch,
+            f"{report.hit_rate:.1%}",
+            report.total_io.total_ms,
+            report.total_response_ms,
+            report.makespan_ms,
+            baseline_ms / report.makespan_ms if report.makespan_ms else 1.0,
+        )
+        for scheduler, prefetch, report in measured
+    ]
+    print()
+    print(
+        format_table(
+            (
+                "scheduler",
+                "prefetch",
+                "hit rate",
+                "device ms",
+                "client response ms",
+                "makespan ms",
+                "speedup",
+            ),
+            rows,
+            title="interleaved client sessions over the I/O scheduler",
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -337,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         return workload_main(argv[1:])
     if argv and argv[0] == "pagestore":
         return pagestore_main(argv[1:])
+    if argv and argv[0] == "iosched":
+        return iosched_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Reproduce the paper's tables and figures.",

@@ -1,0 +1,248 @@
+"""Declarative I/O requests and access plans.
+
+Historically every read path issued imperative ``pool.read(...)`` call
+chains: the pricing, the request order and the continuation discounts
+were all baked into control flow, so nothing between the consumer and
+the device could reorder, overlap or prefetch.  An :class:`AccessPlan`
+inverts that: a consumer *declares* the page requests an operation
+needs (in issue order, with their continuation semantics) and hands the
+plan to :meth:`repro.buffer.pool.BufferPool.submit`, which routes it
+through the pool's :class:`~repro.iosched.scheduler.IOScheduler`.
+
+The default :class:`~repro.iosched.scheduler.SyncScheduler` executes
+the steps through exactly the pool primitives the imperative code used,
+in the same order — pricing is bit-identical.  The
+:class:`~repro.iosched.scheduler.OverlapScheduler` additionally times
+every step on a virtual clock, overlapping requests across disks and
+across concurrent client sessions.
+
+Continuation semantics come in three flavours per request:
+
+* ``continuation=False`` — a fresh request (pays the positioning seek);
+* ``continuation=True`` — a follow-up inside a cluster unit the head is
+  already positioned on (Section 5.4.3);
+* ``chain=<id>`` — *auto*: the request is fresh while no earlier
+  request of the same chain has actually transferred, and a
+  continuation afterwards.  This reproduces the warm-pool rule of the
+  query techniques, where an access absorbed entirely by resident
+  pages (cost 0) must not hand the continuation discount to its
+  successors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
+    from repro.disk.extent import Extent
+
+__all__ = ["IORequest", "AccessPlan"]
+
+#: Operation kinds an :class:`IORequest` can carry.  Each maps onto one
+#: buffer-pool primitive (see ``SyncScheduler._issue``).
+OPS = ("read", "read_pages", "fetch", "get", "load_pages", "charge")
+
+
+class IORequest:
+    """One declarative page request inside an :class:`AccessPlan`.
+
+    Attributes
+    ----------
+    op:
+        ``read`` (coalescing vectored read), ``read_pages`` (scattered
+        pages through the coalescing scheduler), ``fetch``
+        (unconditional whole-run transfer), ``get`` (single-page read,
+        hits free), ``load_pages`` (residency load without hit/miss
+        accounting — the prefetcher's transfer) or ``charge`` (analytic
+        cost).
+    start, npages:
+        The page run (``read``/``fetch``/``get``).
+    pages:
+        Sorted distinct page numbers (``read_pages``/``load_pages``).
+    continuation:
+        The request's positioning assertion; ignored when ``chain`` is
+        set.
+    chain:
+        Auto-continuation group (see the module docstring).
+    admit:
+        ``fetch`` only: whether transferred pages become resident.
+    seeks, rotations:
+        ``charge`` only: analytic cost components (``npages`` carries
+        the page count).
+    """
+
+    __slots__ = (
+        "op",
+        "start",
+        "npages",
+        "pages",
+        "continuation",
+        "chain",
+        "admit",
+        "seeks",
+        "rotations",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        start: int = 0,
+        npages: int = 0,
+        pages: tuple[int, ...] | None = None,
+        continuation: bool = False,
+        chain: int | None = None,
+        admit: bool = True,
+        seeks: int = 0,
+        rotations: int = 0,
+    ):
+        self.op = op
+        self.start = start
+        self.npages = npages
+        self.pages = pages
+        self.continuation = continuation
+        self.chain = chain
+        self.admit = admit
+        self.seeks = seeks
+        self.rotations = rotations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.op in ("read_pages", "load_pages"):
+            body = f"pages={self.pages}"
+        elif self.op == "charge":
+            body = f"seeks={self.seeks}, rotations={self.rotations}, pages={self.npages}"
+        else:
+            body = f"start={self.start}, npages={self.npages}"
+        return f"IORequest({self.op}, {body})"
+
+
+class AccessPlan:
+    """An ordered batch of declarative I/O requests.
+
+    Parameters
+    ----------
+    label:
+        Human-readable origin of the plan (shows up in debugging and
+        lets prefetch policies specialise per access path).
+    extent:
+        Optional physical extent the plan reads from (cluster units set
+        the unit's extent) — cluster-unit-aware prefetchers read the
+        rest of it ahead.
+    blocking:
+        Whether the issuing client waits for the plan's completion.
+        Prefetch plans are non-blocking: under the overlap scheduler
+        they occupy device time without advancing the client's clock.
+    prefetch:
+        Marks a plan issued *by* a prefetcher, so the pool does not
+        recursively prefetch after it.
+
+    After execution, :attr:`executed` holds ``(start, npages, cost_ms)``
+    for every transferring step — the coalescing scheduler's runs that
+    feed the prefetch policies.
+    """
+
+    __slots__ = ("label", "requests", "extent", "blocking", "prefetch", "executed", "_chains")
+
+    def __init__(
+        self,
+        label: str = "plan",
+        extent: "Extent | None" = None,
+        blocking: bool = True,
+        prefetch: bool = False,
+    ):
+        self.label = label
+        self.requests: list[IORequest] = []
+        self.extent = extent
+        self.blocking = blocking
+        self.prefetch = prefetch
+        self.executed: list[tuple[int, int, float]] = []
+        self._chains = 0
+
+    # ------------------------------------------------------------------
+    # builder surface
+    # ------------------------------------------------------------------
+    def new_chain(self) -> int:
+        """Allocate an auto-continuation chain id (one per cluster-unit
+        access: the first request that transfers pays the seek)."""
+        self._chains += 1
+        return self._chains
+
+    def read(
+        self,
+        start: int,
+        npages: int = 1,
+        continuation: bool = False,
+        chain: int | None = None,
+    ) -> "AccessPlan":
+        """Coalescing vectored read of consecutive pages."""
+        self.requests.append(
+            IORequest("read", start, npages, continuation=continuation, chain=chain)
+        )
+        return self
+
+    def read_extent(self, extent: "Extent", continuation: bool = False) -> "AccessPlan":
+        return self.read(extent.start, extent.npages, continuation)
+
+    def read_pages(
+        self, pages: Sequence[int], continuation: bool = False
+    ) -> "AccessPlan":
+        """Scattered sorted pages through the coalescing scheduler."""
+        self.requests.append(
+            IORequest("read_pages", pages=tuple(pages), continuation=continuation)
+        )
+        return self
+
+    def fetch(
+        self,
+        start: int,
+        npages: int = 1,
+        continuation: bool = False,
+        admit: bool = True,
+    ) -> "AccessPlan":
+        """Unconditional whole-run transfer (ignores residency)."""
+        self.requests.append(
+            IORequest("fetch", start, npages, continuation=continuation, admit=admit)
+        )
+        return self
+
+    def fetch_extent(self, extent: "Extent", continuation: bool = False) -> "AccessPlan":
+        return self.fetch(extent.start, extent.npages, continuation)
+
+    def get(self, page: int, continuation: bool = False) -> "AccessPlan":
+        """Single-page read; a pool hit is free."""
+        self.requests.append(IORequest("get", page, 1, continuation=continuation))
+        return self
+
+    def load_pages(self, pages: Sequence[int]) -> "AccessPlan":
+        """Make pages resident without hit/miss accounting (prefetch)."""
+        self.requests.append(IORequest("load_pages", pages=tuple(pages)))
+        return self
+
+    def charge(self, seeks: int = 0, rotations: int = 0, pages: int = 0) -> "AccessPlan":
+        """Analytic cost (no page addresses, no head movement)."""
+        self.requests.append(
+            IORequest("charge", npages=pages, seeks=seeks, rotations=rotations)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __bool__(self) -> bool:
+        return bool(self.requests)
+
+    def __iter__(self) -> Iterator[IORequest]:
+        return iter(self.requests)
+
+    def last_run(self) -> tuple[int, int] | None:
+        """The last executed run that actually transferred (the
+        sequential prefetcher's anchor), as ``(start, npages)``."""
+        for start, npages, cost in reversed(self.executed):
+            if cost > 0:
+                return start, npages
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AccessPlan({self.label!r}, {len(self.requests)} requests)"

@@ -1,0 +1,327 @@
+"""I/O schedulers: executing access plans against the buffer pool.
+
+An :class:`IOScheduler` turns the declarative requests of an
+:class:`~repro.iosched.request.AccessPlan` back into priced buffer-pool
+primitives.  Two schedulers exist:
+
+* :class:`SyncScheduler` (``sync``, the default) — executes every step
+  immediately and in order through exactly the pool calls the
+  historical imperative code made.  Device statistics, head movement
+  and request pricing are **bit-identical** to the pre-plan code; the
+  paper's figures do not move.
+* :class:`OverlapScheduler` (``overlap``) — issues the same priced
+  calls (device accounting stays identical to ``sync``), but
+  additionally times each request on a :class:`VirtualClock` with one
+  service queue per disk.  All requests of a plan are dispatched
+  asynchronously when the plan is submitted, so a declustered store
+  services them concurrently; plans from different client sessions
+  share the queues, so the disks overlap work across clients.  The
+  client-observed **response time** is then the simulated completion,
+  not the serial sum — on a multi-disk store it drops below the
+  synchronous pricing whenever requests land on different arms.
+
+The virtual clock measures each request's device time by differencing
+the per-disk millisecond totals around the priced call, so the timing
+layer needs no cooperation from the store: any
+:class:`~repro.pagestore.store.PageStore` works, including the single
+:class:`~repro.disk.model.DiskModel` (one queue).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.iosched.request import AccessPlan, IORequest
+
+if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
+    from repro.buffer.pool import BufferPool
+
+__all__ = [
+    "IOScheduler",
+    "SyncScheduler",
+    "OverlapScheduler",
+    "VirtualClock",
+    "SCHEDULERS",
+    "make_scheduler",
+    "scheduler_name",
+    "SYNC",
+]
+
+
+def device_times(store) -> list[float]:
+    """Per-device millisecond totals of a backing store (one entry for
+    a single :class:`~repro.disk.model.DiskModel`)."""
+    disks = getattr(store, "disks", None)
+    if disks is not None:
+        return [disk.total_ms for disk in disks]
+    return [store.total_ms]
+
+
+@runtime_checkable
+class IOScheduler(Protocol):
+    """Anything that can execute an access plan against a pool."""
+
+    name: str
+
+    def execute(self, plan: AccessPlan, pool: "BufferPool") -> float: ...
+
+
+class SyncScheduler:
+    """Immediate in-order execution — the historical pricing.
+
+    Every request maps onto one buffer-pool primitive; chain
+    auto-continuation reproduces the warm-pool seek rule (only the
+    first request of a chain that actually transfers pays the
+    positioning seek).  The returned cost is the sum of the priced
+    requests, exactly what the imperative call chain returned.
+    """
+
+    name = "sync"
+
+    def execute(self, plan: AccessPlan, pool: "BufferPool") -> float:
+        chains: set[int] = set()
+        total = 0.0
+        for request in plan.requests:
+            total += self._issue(request, pool, chains, plan)
+        return total
+
+    # ------------------------------------------------------------------
+    def _issue(
+        self,
+        request: IORequest,
+        pool: "BufferPool",
+        chains: set[int],
+        plan: AccessPlan,
+    ) -> float:
+        op = request.op
+        if op == "charge":
+            return pool.charge(
+                seeks=request.seeks,
+                rotations=request.rotations,
+                pages=request.npages,
+            )
+        if request.chain is not None:
+            continuation = request.chain in chains
+        else:
+            continuation = request.continuation
+        if op == "read":
+            cost = pool.read(request.start, request.npages, continuation)
+            span = (request.start, request.npages)
+        elif op == "read_pages":
+            pages = request.pages or ()
+            cost = pool.read_pages(pages, continuation)
+            span = (
+                (pages[0], pages[-1] - pages[0] + 1) if pages else (0, 0)
+            )
+        elif op == "fetch":
+            cost = pool.fetch(
+                request.start, request.npages, continuation, request.admit
+            )
+            span = (request.start, request.npages)
+        elif op == "get":
+            # Single-page read: a hit is free, a miss is priced and
+            # admitted (the pool.get contract).
+            if pool.access(request.start):
+                cost = 0.0
+            else:
+                cost = pool.disk.read(request.start, 1, continuation)
+                pool.admit(request.start)
+            span = (request.start, 1)
+        elif op == "load_pages":
+            pages = request.pages or ()
+            cost = pool.load_pages(pages)
+            span = (
+                (pages[0], pages[-1] - pages[0] + 1) if pages else (0, 0)
+            )
+        else:
+            raise ConfigurationError(f"unknown plan operation '{op}'")
+        if request.chain is not None and cost:
+            chains.add(request.chain)
+        if span[1]:
+            plan.executed.append((span[0], span[1], cost))
+        return cost
+
+
+class VirtualClock:
+    """Simulated time: one service queue per disk, one clock per client.
+
+    ``dispatch(at, work)`` queues one request's per-disk work at virtual
+    time ``at``: each involved disk starts the fragment when it is free
+    (or at ``at``, whichever is later) and the request completes when
+    the slowest fragment does.  Clients that block on a plan advance to
+    its completion; non-blocking (prefetch) plans only occupy the disks.
+    """
+
+    __slots__ = ("disk_free", "clients")
+
+    def __init__(self):
+        self.disk_free: list[float] = []
+        self.clients: dict[str, float] = {}
+
+    def client_time(self, client: str = "main") -> float:
+        """A client's current virtual time in ms."""
+        return self.clients.get(client, 0.0)
+
+    def wait(self, client: str, until: float) -> None:
+        """Block a client until ``until`` (never moves time backwards)."""
+        if until > self.clients.get(client, 0.0):
+            self.clients[client] = until
+
+    def dispatch(self, at: float, work_per_disk: list[float]) -> float:
+        """Queue one request's per-disk work at time ``at``; returns the
+        completion time (max over the involved disks)."""
+        if len(self.disk_free) < len(work_per_disk):
+            self.disk_free.extend(
+                0.0 for _ in range(len(work_per_disk) - len(self.disk_free))
+            )
+        finish = at
+        for disk, work in enumerate(work_per_disk):
+            if work <= 0.0:
+                continue
+            begin = self.disk_free[disk]
+            if begin < at:
+                begin = at
+            end = begin + work
+            self.disk_free[disk] = end
+            if end > finish:
+                finish = end
+        return finish
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time when everything — every disk queue and every
+        client — has finished."""
+        latest = 0.0
+        for t in self.disk_free:
+            if t > latest:
+                latest = t
+        for t in self.clients.values():
+            if t > latest:
+                latest = t
+        return latest
+
+    def reset(self) -> None:
+        self.disk_free.clear()
+        self.clients.clear()
+
+
+class OverlapScheduler(SyncScheduler):
+    """Simulated asynchronous I/O with per-disk service queues.
+
+    Pricing (device statistics, head positions, request costs) is
+    exactly the :class:`SyncScheduler`'s — the overlap scheduler issues
+    the same calls in the same order — but every request is also timed
+    on the :class:`VirtualClock`: all requests of a plan dispatch at
+    the submitting client's current time, queue per disk, and the plan
+    completes when its slowest request does.  ``execute`` returns the
+    client-observed response time (0 for non-blocking prefetch plans).
+    """
+
+    name = "overlap"
+
+    def __init__(self):
+        self.clock = VirtualClock()
+        self._client = "main"
+        # Open operation scope: [issue_time, completion_so_far], or
+        # None outside an operation (then every blocking plan waits).
+        self._scope: list[float] | None = None
+
+    @property
+    def client(self) -> str:
+        """The session the next submitted plan is charged to."""
+        return self._client
+
+    @contextmanager
+    def session(self, client: str) -> Iterator["OverlapScheduler"]:
+        """Charge plans submitted inside the block to ``client``'s
+        timeline."""
+        previous = self._client
+        self._client = client
+        try:
+            yield self
+        finally:
+            self._client = previous
+
+    @contextmanager
+    def operation(self, client: str) -> Iterator["OverlapScheduler"]:
+        """One client operation: every plan submitted inside the block
+        dispatches at the operation's start time — the declarative
+        batch model (all of an operation's access plans are known up
+        front and issued asynchronously), matching the max-over-disks
+        pricing of a lone parallel batch — and the client advances to
+        the slowest plan's completion when the block exits.  Requests
+        still queue per disk, so concurrent clients' operations contend
+        for arms and overlap across them."""
+        with self.session(client):
+            outer = self._scope
+            now = self.clock.client_time(client)
+            self._scope = [now, now]
+            try:
+                yield self
+            finally:
+                _, completion = self._scope
+                self._scope = outer
+                self.clock.wait(client, completion)
+
+    def execute(self, plan: AccessPlan, pool: "BufferPool") -> float:
+        scope = self._scope
+        issue_at = (
+            scope[0] if scope is not None else self.clock.client_time(self._client)
+        )
+        chains: set[int] = set()
+        completion = issue_at
+        for request in plan.requests:
+            before = device_times(pool.disk)
+            self._issue(request, pool, chains, plan)
+            after = device_times(pool.disk)
+            work = [now - then for now, then in zip(after, before)]
+            finished = self.clock.dispatch(issue_at, work)
+            if finished > completion:
+                completion = finished
+        if not plan.blocking:
+            return 0.0
+        if scope is not None:
+            if completion > scope[1]:
+                scope[1] = completion
+        else:
+            self.clock.wait(self._client, completion)
+        return completion - issue_at
+
+    def reset(self) -> None:
+        """Restart virtual time (e.g. between experiment phases)."""
+        self.clock.reset()
+        self._scope = None
+
+
+SCHEDULERS = ("sync", "overlap")
+"""Valid scheduler names for every ``scheduler=`` knob."""
+
+SYNC = SyncScheduler()
+"""Shared stateless default scheduler (bit-identical pricing)."""
+
+
+def make_scheduler(spec: "str | IOScheduler | None") -> "IOScheduler":
+    """Resolve a scheduler name (or pass an instance through)."""
+    if spec is None:
+        return SYNC
+    if isinstance(spec, str):
+        if spec == "sync":
+            return SYNC
+        if spec == "overlap":
+            return OverlapScheduler()
+        raise ConfigurationError(
+            f"unknown I/O scheduler '{spec}'; valid: {SCHEDULERS}"
+        )
+    if isinstance(spec, IOScheduler):
+        return spec
+    raise ConfigurationError(f"not an I/O scheduler: {spec!r}")
+
+
+def scheduler_name(scheduler: object) -> str:
+    """The registry name of a scheduler instance (best effort)."""
+    name = getattr(scheduler, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(scheduler).__name__

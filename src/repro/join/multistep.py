@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.buffer.policy import hit_ratio
 from repro.buffer.pool import BufferPool
 from repro.constants import EXACT_TEST_MS
 from repro.disk.model import DiskStats
@@ -68,6 +69,8 @@ def spatial_join(
     exact_test_ms: float = EXACT_TEST_MS,
     policy: str = "lru",
     pool: BufferPool | None = None,
+    scheduler=None,
+    prefetch=None,
 ) -> JoinResult:
     """Run the intersection join between two organizations.
 
@@ -92,6 +95,10 @@ def spatial_join(
     pool:
         An externally owned shared pool (e.g. the workload engine's);
         overrides ``buffer_pages``/``policy``.
+    scheduler, prefetch:
+        I/O scheduler and prefetch policy of the join's own pool (names
+        or instances; ignored when ``pool`` is given — a shared pool
+        brings its own).
     """
     if org_r.disk is not org_s.disk:
         raise ConfigurationError(
@@ -103,7 +110,13 @@ def spatial_join(
         )
     disk = org_r.disk
     if pool is None:
-        pool = BufferPool(disk, capacity=buffer_pages, policy=policy)
+        pool = BufferPool(
+            disk,
+            capacity=buffer_pages,
+            policy=policy,
+            scheduler=scheduler,
+            prefetcher=prefetch,
+        )
     join = MBRJoin(org_r.tree, org_s.tree, pool)
     transfer_r = ObjectTransfer(org_r, pool, technique=technique)
     transfer_s = ObjectTransfer(org_s, pool, technique=technique)
@@ -135,7 +148,7 @@ def spatial_join(
     result.exact_tests = counter.tests
     result.exact_ms = counter.cost_ms
     result.node_accesses = join.node_accesses
-    hits = pool.hits - hits_before
-    misses = pool.misses - misses_before
-    result.buffer_hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    result.buffer_hit_rate = hit_ratio(
+        pool.hits - hits_before, pool.misses - misses_before
+    )
     return result

@@ -26,6 +26,7 @@ from repro.core.techniques import slm_schedule
 from repro.disk.extent import Extent
 from repro.disk.model import DiskModel
 from repro.errors import ConfigurationError
+from repro.iosched.request import AccessPlan
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
 from repro.storage.base import SpatialOrganization
@@ -114,9 +115,14 @@ class ObjectTransfer:
 
     def _fetch_extent(self, extent: Extent) -> None:
         """Secondary-style access: the object's extent is read with one
-        request on any page miss and fully buffered."""
+        request on any page miss and fully buffered.  The residency
+        decision is made when the plan is built (it depends on what
+        earlier fetches admitted), the transfer is submitted as a
+        declarative single-request plan."""
         if self._pages_missing(extent.start, extent.npages):
-            self.pool.fetch_extent(extent)
+            self.pool.submit(
+                AccessPlan("join.extent").fetch_extent(extent)
+            )
         else:
             self._touch(extent.start, extent.npages)
             self.buffer_hits += 1
@@ -127,7 +133,7 @@ class ObjectTransfer:
         objects are fetched like secondary objects."""
         assert isinstance(self.org, PrimaryOrganization)
         if leaf.page is not None:
-            self.pool.get(leaf.page)
+            self.pool.submit(AccessPlan("join.leaf").get(leaf.page))
         for oid in oids:
             if not self.org.is_inline(oid):
                 self._fetch_extent(self.org.overflow_extent(oid))
@@ -155,15 +161,18 @@ class ObjectTransfer:
         if self.technique == "optimum":
             # Analytic bound: one seek + one rotational delay per unit
             # over the whole join; each queried page transferred once.
+            plan = AccessPlan("join.unit.optimum")
             charged = self._optimum_pages.get(base)
             if charged is None:
                 charged = set()
                 self._optimum_pages[base] = charged
-                self.pool.charge(seeks=1, rotations=1)
+                plan.charge(seeks=1, rotations=1)
             new_pages = [p for p in requested if p not in charged]
             if new_pages:
                 charged.update(new_pages)
-                self.pool.charge(pages=len(new_pages))
+                plan.charge(pages=len(new_pages))
+            if plan:
+                self.pool.submit(plan)
             return
         missing = [p for p in requested if (base + p) not in self.pool]
         if not missing:
@@ -172,24 +181,26 @@ class ObjectTransfer:
             return
 
         technique = self.technique
+        used = min(unit.used_pages, unit.extent.npages)
+        plan = AccessPlan(f"join.unit.{technique}", extent=Extent(base, used))
         if technique == "complete":
-            used = min(unit.used_pages, unit.extent.npages)
-            self.pool.fetch(base, used)
+            plan.fetch(base, used)
         elif technique in ("read", "vector"):
             runs = slm_schedule(missing, self.pool.params.slm_gap_pages)
             first = True
             for start, npages in runs:
-                self.pool.fetch(
+                plan.fetch(
                     base + start,
                     npages,
                     continuation=not first,
                     admit=(technique == "read"),
                 )
                 first = False
-            if technique == "vector":
-                self.pool.admit_all(base + p for p in missing)
         else:  # pragma: no cover - guarded in __init__ / early return
             raise ConfigurationError(f"unknown technique {technique}")
+        self.pool.submit(plan)
+        if technique == "vector":
+            self.pool.admit_all(base + p for p in missing)
         self._touch_pages(base, requested)
 
     def _touch_pages(self, base: int, pages: list[int]) -> None:

@@ -46,7 +46,25 @@ from repro.disk.params import DiskParameters
 from repro.errors import ConfigurationError
 from repro.pagestore.placement import PlacementPolicy, make_placement
 
-__all__ = ["PageStore", "ShardedPageStore", "VectoredCost"]
+__all__ = ["PageStore", "ShardedPageStore", "StoreSnapshot", "VectoredCost"]
+
+
+class StoreSnapshot(list):
+    """Per-disk statistics marker of a :class:`ShardedPageStore`.
+
+    Behaves as the plain ``list[DiskStats]`` it always was, but also
+    carries the store's *reset epoch*: :meth:`ShardedPageStore.reset`
+    bumps the epoch, so ``stats_since`` / ``cost_since`` can detect a
+    marker taken before a reset and measure from zero instead of
+    subtracting stale totals — a pre-reset snapshot used to make
+    ``cost_since`` go negative.
+    """
+
+    __slots__ = ("epoch",)
+
+    def __init__(self, stats: Sequence[DiskStats], epoch: int):
+        super().__init__(stats)
+        self.epoch = epoch
 
 
 @runtime_checkable
@@ -121,6 +139,7 @@ class ShardedPageStore:
         self.placement = make_placement(placement, chunk_pages)
         self.placement.bind(n_disks)
         self._response_ms = 0.0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # placement surface
@@ -241,15 +260,23 @@ class ShardedPageStore:
         at the max over the disks it touched."""
         return self._response_ms
 
-    def snapshot(self) -> list[DiskStats]:
+    def snapshot(self) -> StoreSnapshot:
         """Per-disk statistics marker for :meth:`cost_since` /
-        :meth:`stats_since`."""
-        return self.per_disk_stats()
+        :meth:`stats_since` (tagged with the current reset epoch)."""
+        return StoreSnapshot(self.per_disk_stats(), self._epoch)
+
+    def _baseline(self, snapshot: list[DiskStats]) -> list[DiskStats]:
+        """The snapshot to subtract: a marker taken before the last
+        :meth:`reset` is stale — its totals no longer underlie the
+        current statistics — so the interval starts from zero."""
+        if getattr(snapshot, "epoch", self._epoch) != self._epoch:
+            return [DiskStats() for _ in self.disks]
+        return snapshot
 
     def stats_since(self, snapshot: list[DiskStats]) -> DiskStats:
         """Aggregate device-time statistics delta since ``snapshot``."""
         total = DiskStats()
-        for disk, before in zip(self.disks, snapshot):
+        for disk, before in zip(self.disks, self._baseline(snapshot)):
             total = total + disk.stats_since(before)
         return total
 
@@ -259,7 +286,7 @@ class ShardedPageStore:
         is the busiest disk's delta, device time the summed deltas."""
         per_disk = [
             (disk.stats() - before).total_ms
-            for disk, before in zip(self.disks, snapshot)
+            for disk, before in zip(self.disks, self._baseline(snapshot))
         ]
         return VectoredCost(
             response_ms=max(per_disk, default=0.0),
@@ -285,7 +312,12 @@ class ShardedPageStore:
             disk.invalidate_head()
 
     def reset(self) -> None:
-        """Zero all statistics (placement pins are kept)."""
+        """Zero all statistics and forget every head position, as one
+        coherent action over all devices (placement pins are kept).
+        Bumps the reset epoch: snapshots taken before the reset are
+        recognised as stale by :meth:`stats_since` / :meth:`cost_since`
+        instead of producing negative deltas."""
         for disk in self.disks:
             disk.reset()
         self._response_ms = 0.0
+        self._epoch += 1

@@ -28,6 +28,7 @@ from repro.buffer.pool import BufferPool
 from repro.disk.allocator import Region
 from repro.disk.extent import Extent
 from repro.disk.model import DiskModel
+from repro.iosched.request import AccessPlan
 from repro.rtree.node import Node
 
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
@@ -94,12 +95,15 @@ class NodePager:
 
     # ------------------------------------------------------------------
     def read(self, node: Node) -> None:
-        """Price reading the node's page (pool hits are free)."""
+        """Price reading the node's page (pool hits are free).  The
+        access is declared as a single-request plan and submitted to
+        the pool's scheduler, so node I/O shares the virtual clock's
+        service queues with object and unit transfers."""
         if node.page is None:
             return
         if self.directory_resident and node.level >= 1:
             return
-        self.pool.get(node.page)
+        self.pool.submit(AccessPlan("node.read").get(node.page))
 
     def write(self, node: Node) -> None:
         """Price writing the node's page (caching pools defer to

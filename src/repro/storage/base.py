@@ -92,6 +92,8 @@ class SpatialOrganization(abc.ABC):
         construction_buffer_pages: int = 256,
         region_prefix: str = "",
         pool: BufferPool | None = None,
+        scheduler=None,
+        prefetch=None,
     ):
         self.disk = disk or DiskModel()
         self.allocator = allocator or PageAllocator()
@@ -106,7 +108,16 @@ class SpatialOrganization(abc.ABC):
         # default pool is pass-through (capacity 0): every request is
         # priced cold, matching the paper's per-query I/O reporting.
         # The workload engine swaps a caching pool in via `use_pool`.
-        self.pool = pool if pool is not None else BufferPool(self.disk, capacity=0)
+        # ``scheduler``/``prefetch`` (names or instances) select how
+        # the pool services submitted access plans; the defaults keep
+        # the bit-identical synchronous pricing.
+        self.pool = (
+            pool
+            if pool is not None
+            else BufferPool(
+                self.disk, capacity=0, scheduler=scheduler, prefetcher=prefetch
+            )
+        )
 
         tree_region = self._claim_region("tree")
         # Construction runs under the same assumption as measurement:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.constants import ENTRY_SIZE
 from repro.disk.extent import Extent
 from repro.geometry.feature import SpatialObject
+from repro.iosched.request import AccessPlan
 from repro.rtree.capacity import ByteCapacity
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
@@ -76,15 +77,19 @@ class PrimaryOrganization(SpatialOrganization):
         """Inline candidates arrived with their data page (already priced
         by the filter step); each overflow candidate costs an extra read
         request — the effect behind the primary organization's poor
-        point-query behaviour for large objects (Figure 12)."""
+        point-query behaviour for large objects (Figure 12).  Overflow
+        requests are declared as one access plan per query."""
         candidates: list[SpatialObject] = []
+        plan = AccessPlan("primary.retrieve")
         for _leaf, entries in groups:
             for entry in entries:
                 assert entry.oid is not None
                 extent = self._overflow_extents.get(entry.oid)
                 if extent is not None:
-                    self.pool.read_extent(extent)
+                    plan.read_extent(extent)
                 candidates.append(self.objects[entry.oid])
+        if plan:
+            self.pool.submit(plan)
         return candidates
 
     def _unstore_object(self, obj: SpatialObject) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.disk.extent import Extent
 from repro.geometry.feature import SpatialObject
+from repro.iosched.request import AccessPlan
 from repro.rtree.capacity import CountCapacity
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
@@ -85,14 +86,18 @@ class SecondaryOrganization(SpatialOrganization):
     ) -> list[SpatialObject]:
         """Each candidate needs its own read request into the file: the
         file is ordered by insertion time, the query by space, so there
-        is no useful physical adjacency (Section 3.2.1's drawback)."""
+        is no useful physical adjacency (Section 3.2.1's drawback).
+        The requests are declared as one access plan per query and
+        submitted to the pool's scheduler."""
         candidates: list[SpatialObject] = []
+        plan = AccessPlan("secondary.retrieve")
         for _leaf, entries in groups:
             for entry in entries:
                 assert entry.oid is not None
-                extent = self._extents[entry.oid]
-                self.pool.read_extent(extent)
+                plan.read_extent(self._extents[entry.oid])
                 candidates.append(self.objects[entry.oid])
+        if plan:
+            self.pool.submit(plan)
         return candidates
 
     # ------------------------------------------------------------------

@@ -7,17 +7,28 @@ organization with all page traffic flowing through a single
 :class:`~repro.disk.model.DiskStats` plus pool hit rates.
 :func:`~repro.workload.streams.mixed_stream` builds deterministic
 paper-style streams, and :mod:`repro.workload.trace` persists streams
-as replayable JSONL traces.  The high-level entry point is
-:meth:`repro.database.SpatialDatabase.run_workload`.
+as replayable JSONL traces.  The high-level entry points are
+:meth:`repro.database.SpatialDatabase.run_workload` and — for
+interleaved multi-client sessions over the I/O scheduler —
+:meth:`repro.database.SpatialDatabase.run_sessions`.
 """
 
-from repro.workload.engine import OP_KINDS, PhaseStats, WorkloadEngine, WorkloadReport
+from repro.workload.engine import (
+    OP_KINDS,
+    ClientStats,
+    PhaseStats,
+    SessionsReport,
+    WorkloadEngine,
+    WorkloadReport,
+)
 from repro.workload.streams import mixed_stream
 from repro.workload.trace import load_trace, save_trace
 
 __all__ = [
     "OP_KINDS",
     "PhaseStats",
+    "ClientStats",
+    "SessionsReport",
     "WorkloadEngine",
     "WorkloadReport",
     "mixed_stream",

@@ -14,20 +14,40 @@ operation count, result volume, pool hits/misses and a
 :class:`~repro.disk.model.DiskStats` delta — and finishes with a
 ``flush`` phase that writes back the dirty frames through the pool's
 coalescing scheduler.  The result is a :class:`WorkloadReport`.
+
+:meth:`WorkloadEngine.run_sessions` generalises this to **concurrent
+client sessions**: several operation streams are interleaved
+round-robin (deterministically) over the one shared pool, and when the
+pool's I/O scheduler is the
+:class:`~repro.iosched.scheduler.OverlapScheduler`, every client's
+plans are timed on its own virtual-clock session — declustered disks
+service different clients concurrently, so the workload's makespan
+drops below the serial response time.  The result is a
+:class:`SessionsReport` with per-client timelines.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro.buffer.policy import hit_ratio
 from repro.buffer.pool import BufferPool
 from repro.disk.model import DiskStats
 from repro.errors import ConfigurationError
 from repro.geometry.feature import SpatialObject
 from repro.geometry.rect import Rect
+from repro.iosched.scheduler import OverlapScheduler, device_times, scheduler_name
 from repro.storage.base import SpatialOrganization
 
-__all__ = ["OP_KINDS", "PhaseStats", "WorkloadReport", "WorkloadEngine"]
+__all__ = [
+    "OP_KINDS",
+    "PhaseStats",
+    "WorkloadReport",
+    "ClientStats",
+    "SessionsReport",
+    "WorkloadEngine",
+]
 
 OP_KINDS = ("window", "point", "insert", "delete", "join")
 """Operation kinds understood by the engine.
@@ -65,8 +85,16 @@ class PhaseStats:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return hit_ratio(self.hits, self.misses)
+
+    @property
+    def overlap_ms(self) -> float:
+        """Device time hidden from the clients by concurrent service:
+        device ms minus response ms.  Positive when the disks worked in
+        parallel (declustering, overlapped sessions, prefetching);
+        negative when queueing behind other clients made an operation
+        wait longer than its own I/O."""
+        return self.io.total_ms - self.response_ms
 
     @property
     def parallelism(self) -> float:
@@ -103,14 +131,19 @@ class WorkloadReport:
 
     @property
     def hit_rate(self) -> float:
-        hits = sum(p.hits for p in self.phases)
-        misses = sum(p.misses for p in self.phases)
-        total = hits + misses
-        return hits / total if total else 0.0
+        return hit_ratio(
+            sum(p.hits for p in self.phases),
+            sum(p.misses for p in self.phases),
+        )
 
     @property
     def total_response_ms(self) -> float:
         return sum(p.response_ms for p in self.phases)
+
+    @property
+    def total_overlap_ms(self) -> float:
+        """Workload-wide device time hidden by concurrent service."""
+        return self.total_io.total_ms - self.total_response_ms
 
     def format(self, title: str | None = None) -> str:
         """Aligned per-phase table (the `repro.eval workload` output)."""
@@ -128,6 +161,7 @@ class WorkloadReport:
                     p.io.pages_transferred,
                     p.io.total_ms,
                     p.response_ms,
+                    p.overlap_ms,
                 )
             )
         rows.append(
@@ -140,6 +174,7 @@ class WorkloadReport:
                 self.total_io.pages_transferred,
                 self.total_io.total_ms,
                 self.total_response_ms,
+                self.total_overlap_ms,
             )
         )
         header = title or (
@@ -155,10 +190,88 @@ class WorkloadReport:
                 "pages",
                 "device ms",
                 "response ms",
+                "overlap ms",
             ),
             rows,
             title=header,
         )
+
+
+@dataclass(slots=True)
+class ClientStats:
+    """One client session's share of a :meth:`WorkloadEngine.run_sessions`
+    workload.
+
+    ``response_ms`` is the time this client spent waiting for its own
+    operations — under the overlap scheduler its virtual-clock session
+    time, which includes queueing behind other clients; ``device_ms``
+    the device time its operations consumed."""
+
+    name: str
+    operations: int = 0
+    results: int = 0
+    response_ms: float = 0.0
+    device_ms: float = 0.0
+
+
+@dataclass(slots=True)
+class SessionsReport(WorkloadReport):
+    """Outcome of one :meth:`WorkloadEngine.run_sessions`.
+
+    The per-phase table aggregates over the clients; ``clients`` breaks
+    the same workload down per session.  ``makespan_ms`` is when the
+    whole interleaved workload finished: under the overlap scheduler
+    the virtual clock's latest event (clients *and* trailing prefetch
+    work), under the sync scheduler the serial sum of the responses.
+    """
+
+    scheduler: str = "sync"
+    makespan_ms: float = 0.0
+    clients: list[ClientStats] = field(default_factory=list)
+
+    def client(self, name: str) -> ClientStats | None:
+        for c in self.clients:
+            if c.name == name:
+                return c
+        return None
+
+    def format(self, title: str | None = None) -> str:
+        from repro.eval.report import format_table
+
+        header = title or (
+            f"sessions: scheduler={self.scheduler}, policy={self.policy}, "
+            f"buffer={self.buffer_pages} pages"
+        )
+        # Explicit base call: zero-argument super() loses its class
+        # cell when @dataclass(slots=True) rebuilds the class.
+        parts = [WorkloadReport.format(self, header)]
+        rows = [
+            (
+                c.name,
+                c.operations,
+                c.results,
+                c.device_ms,
+                c.response_ms,
+            )
+            for c in self.clients
+        ]
+        rows.append(
+            (
+                "makespan",
+                self.operations,
+                sum(c.results for c in self.clients),
+                self.total_io.total_ms,
+                self.makespan_ms,
+            )
+        )
+        parts.append(
+            format_table(
+                ("client", "ops", "results", "device ms", "response ms"),
+                rows,
+                title="per-client sessions",
+            )
+        )
+        return "\n\n".join(parts)
 
 
 class WorkloadEngine:
@@ -192,25 +305,145 @@ class WorkloadEngine:
         report = WorkloadReport(
             policy=self.pool.policy, buffer_pages=self.pool.capacity
         )
+        scheduler = self._timed_scheduler()
         phases: dict[str, PhaseStats] = {}
         with self.storage.use_pool(self.pool):
             for op in operations:
-                kind, results = self._execute(op)
+                self._snapshot()
+                if scheduler is not None:
+                    started = scheduler.clock.client_time("main")
+                    with scheduler.operation("main"):
+                        kind, results = self._execute(op)
+                    waited = scheduler.clock.client_time("main") - started
+                else:
+                    kind, results = self._execute(op)
+                    waited = None
                 phase = phases.get(kind)
                 if phase is None:
                     phase = phases[kind] = PhaseStats(kind)
                     report.phases.append(phase)
                 phase.operations += 1
                 phase.results += results
-                self._account(phase)
-            flush = PhaseStats("flush")
-            self._snapshot()
+                self._account(phase, response_ms=waited)
+            self._flush_phase(report, scheduler)
+        return report
+
+    def _timed_scheduler(self) -> OverlapScheduler | None:
+        """The pool's scheduler when it times operations on a virtual
+        clock (reset so this run measures from zero — stale disk queues
+        and client timelines from earlier traffic must not leak into
+        the makespan), else ``None``."""
+        scheduler = self.pool.scheduler
+        if isinstance(scheduler, OverlapScheduler):
+            scheduler.reset()
+            return scheduler
+        return None
+
+    def run_sessions(self, sessions) -> SessionsReport:
+        """Execute several client streams as interleaved sessions.
+
+        ``sessions`` maps client names to operation streams (a dict, or
+        a sequence of ``(name, operations)`` pairs).  The streams are
+        interleaved round-robin in client order — one operation per
+        client per turn — which is deterministic: replaying the same
+        streams reproduces the same request sequence bit for bit.
+
+        All clients share this engine's pool (and therefore its I/O
+        scheduler).  Under the
+        :class:`~repro.iosched.scheduler.OverlapScheduler` each client
+        gets its own virtual-clock session: its operations' plans
+        dispatch at the client's own time, queue per disk, and overlap
+        with the other clients' I/O — on a declustered store the disks
+        service different clients concurrently and the makespan drops
+        below the serial response time.  Under the default sync
+        scheduler the same interleaving executes serially (response
+        times match :meth:`run`'s accounting).
+        """
+        pairs = (
+            list(sessions.items())
+            if isinstance(sessions, dict)
+            else [(name, ops) for name, ops in sessions]
+        )
+        report = SessionsReport(
+            policy=self.pool.policy,
+            buffer_pages=self.pool.capacity,
+            scheduler=scheduler_name(self.pool.scheduler),
+        )
+        scheduler = self._timed_scheduler()
+        timed = scheduler is not None
+        phases: dict[str, PhaseStats] = {}
+        clients: list[ClientStats] = []
+        queues: list[tuple[ClientStats, deque]] = []
+        for name, ops in pairs:
+            stats = ClientStats(str(name))
+            clients.append(stats)
+            queues.append((stats, deque(ops)))
+        report.clients = clients
+        with self.storage.use_pool(self.pool):
+            while any(queue for _, queue in queues):
+                for client, queue in queues:
+                    if not queue:
+                        continue
+                    op = queue.popleft()
+                    self._snapshot()
+                    if timed:
+                        started = scheduler.clock.client_time(client.name)
+                        with scheduler.operation(client.name):
+                            kind, results = self._execute(op)
+                        waited = (
+                            scheduler.clock.client_time(client.name) - started
+                        )
+                    else:
+                        kind, results = self._execute(op)
+                        waited = self.storage.disk.cost_since(
+                            self._measure_mark
+                        ).response_ms
+                    phase = phases.get(kind)
+                    if phase is None:
+                        phase = phases[kind] = PhaseStats(kind)
+                        report.phases.append(phase)
+                    phase.operations += 1
+                    phase.results += results
+                    device_before = phase.io.total_ms
+                    self._account(phase, response_ms=waited)
+                    client.operations += 1
+                    client.results += results
+                    client.response_ms += waited
+                    client.device_ms += phase.io.total_ms - device_before
+            self._flush_phase(report, scheduler)
+        if timed:
+            report.makespan_ms = scheduler.clock.makespan
+        else:
+            report.makespan_ms = report.total_response_ms
+        return report
+
+    def _flush_phase(
+        self, report: WorkloadReport, scheduler: OverlapScheduler | None = None
+    ) -> None:
+        """Write back dirty frames as the report's final phase.
+
+        Under a virtual-clock scheduler the write-back's device work is
+        dispatched onto the per-disk queues (issued when the last
+        client finished), so the makespan covers the flush exactly as
+        the synchronous accounting does."""
+        flush = PhaseStats("flush")
+        self._snapshot()
+        if scheduler is not None:
+            before = device_times(self.storage.disk)
+            self.pool.flush(coalesce=True)
+            work = [
+                now - then
+                for now, then in zip(device_times(self.storage.disk), before)
+            ]
+            issued = max(scheduler.clock.clients.values(), default=0.0)
+            completion = scheduler.clock.dispatch(issued, work)
+            self._account(flush, response_ms=completion - issued)
+        else:
             self.pool.flush(coalesce=True)
             self._account(flush)
-            if flush.io.requests:
-                flush.operations = 1
-                report.phases.append(flush)
-        return report
+        if flush.io.requests:
+            flush.operations = 1
+            report.phases.append(flush)
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> None:
@@ -218,20 +451,26 @@ class WorkloadEngine:
         self._hits_mark = self.pool.hits
         self._misses_mark = self.pool.misses
 
-    def _account(self, phase: PhaseStats) -> None:
+    def _account(self, phase: PhaseStats, response_ms: float | None = None) -> None:
         disk = self.storage.disk
         phase.io = phase.io + disk.stats_since(self._measure_mark)
-        # Per operation, the response time is the busiest disk's delta
-        # (equal to the device time on a single disk).
-        phase.response_ms += disk.cost_since(self._measure_mark).response_ms
+        if response_ms is not None:
+            # The caller timed the operation itself (a virtual-clock
+            # session under the overlap scheduler).
+            phase.response_ms += response_ms
+        else:
+            # Per operation, the response time is the busiest disk's
+            # delta (equal to the device time on a single disk).
+            phase.response_ms += disk.cost_since(self._measure_mark).response_ms
         phase.hits += self.pool.hits - self._hits_mark
         phase.misses += self.pool.misses - self._misses_mark
 
     def _execute(self, op) -> tuple[str, int]:
+        """Execute one operation (the caller snapshots the statistics
+        marks beforehand)."""
         if not isinstance(op, tuple) or not op:
             raise ConfigurationError(f"malformed workload operation: {op!r}")
         kind = op[0]
-        self._snapshot()
         if kind == "window":
             window = op[1] if isinstance(op[1], Rect) else Rect(*op[1:5])
             return kind, len(self.storage.window_query(window).objects)

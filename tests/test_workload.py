@@ -248,3 +248,49 @@ class TestWorkloadCLI:
 
         with pytest.raises(SystemExit):
             main(["workload", "--policies", "bogus"])
+
+
+class TestHitRateGuards:
+    """Satellite: every hit-rate surface returns 0.0 on an empty
+    denominator via the shared repro.buffer.policy.hit_ratio rule."""
+
+    def test_hit_ratio_helper(self):
+        from repro.buffer.policy import hit_ratio
+
+        assert hit_ratio(0, 0) == 0.0
+        assert hit_ratio(3, 1) == 0.75
+
+    def test_empty_pool_hit_rate(self):
+        from repro.disk.model import DiskModel
+
+        assert BufferPool(DiskModel()).hit_rate == 0.0
+        assert BufferPool(DiskModel(), capacity=8).hit_rate == 0.0
+
+    def test_empty_phase_and_report_hit_rate(self):
+        from repro.workload.engine import PhaseStats, WorkloadReport
+
+        assert PhaseStats("window").hit_rate == 0.0
+        report = WorkloadReport(policy="lru", buffer_pages=8)
+        assert report.hit_rate == 0.0
+        report.phases.append(PhaseStats("window"))
+        assert report.hit_rate == 0.0
+
+    def test_empty_sessions_report(self):
+        from repro.workload.engine import SessionsReport
+
+        report = SessionsReport(policy="lru", buffer_pages=8)
+        assert report.hit_rate == 0.0
+        assert report.makespan_ms == 0.0
+
+    def test_empty_replacement_buffer_hit_rate(self):
+        from repro.buffer.policy import make_buffer
+
+        for policy in ("lru", "fifo", "clock", "lru-k"):
+            assert make_buffer(policy, 4).hit_rate == 0.0
+
+    def test_empty_workload_run_reports_zero(self, workload_setup):
+        resident, _ = workload_setup
+        db = build_db(resident, name="hr")
+        report = db.run_workload([], buffer_pages=16)
+        assert report.hit_rate == 0.0
+        assert report.operations == 0
