@@ -1,0 +1,22 @@
+"""Wall-clock benchmarking of the vectorized query kernels.
+
+Everything else in this repository measures *simulated* I/O cost — the
+paper's currency.  This package measures real CPU seconds: it times
+tree construction, window/point-query batches, the full spatial join
+and a mixed workload run, under both the vectorized kernels and the
+``REPRO_SCALAR_KERNELS`` fallback (:mod:`repro.core.kernels`), and
+writes the medians, machine-normalized scores and speedups to
+``BENCH_query_kernels.json`` so future PRs have a perf trajectory.
+
+Run it with ``python -m repro.eval bench``.
+"""
+
+from repro.bench.harness import (
+    BENCH_NAME,
+    calibrate,
+    main,
+    run_bench,
+    write_json,
+)
+
+__all__ = ["BENCH_NAME", "calibrate", "main", "run_bench", "write_json"]

@@ -1,0 +1,359 @@
+"""The wall-clock benchmark harness (``python -m repro.eval bench``).
+
+Methodology
+-----------
+* Every scenario is a deterministic callable timed with
+  ``time.perf_counter``; the reported figure is the **median of k**
+  repetitions (after one untimed warm-up), so one scheduler hiccup
+  cannot skew a number.
+* Scenarios run under both kernel modes (vectorized default, then the
+  ``REPRO_SCALAR_KERNELS`` scalar fallback) and the harness *asserts*
+  that both modes produce the same outcome (result counts, node
+  counts, join cardinality) before reporting ``speedup =
+  scalar_median / vectorized_median``.
+* Raw seconds are machine-dependent, so every median is also reported
+  **normalized** against a calibration loop — a fixed chunk of pure
+  Python arithmetic timed on the same machine in the same process.
+  Normalized scores (``median_s / calibration_s``) are comparable
+  across machines of different speeds; speedups are dimensionless
+  anyway.
+
+Scenarios
+---------
+``construction``
+    Build a fresh in-memory R*-tree from the map's MBRs (exercises
+    ChooseSubtree and the vectorized split distributions).
+``window_batch`` / ``point_batch``
+    The R*-tree *filter* step over a query batch via
+    :meth:`~repro.rtree.rstar.RStarTree.window_query_batch` — one
+    shared traversal, one broadcast mask per visited node (no I/O
+    pricing, no refinement).  The scalar fallback loops the per-query
+    entry-at-a-time path.
+``window_org`` / ``point_org``
+    The same batches end-to-end through the cluster organization
+    (filter + transfer pricing + exact refinement), for context on how
+    much of the serving path the kernels are.
+``join``
+    The complete multi-step spatial join with exact evaluation
+    (synchronized traversal, candidate generation, batched refinement
+    prefilter).
+``workload``
+    A mixed window/point/join stream through the shared buffer pool
+    (:meth:`~repro.database.SpatialDatabase.run_workload`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from typing import Callable
+
+from repro.core import kernels
+
+BENCH_NAME = "query_kernels"
+DEFAULT_OUTPUT = f"BENCH_{BENCH_NAME}.json"
+
+SCENARIOS = (
+    "construction",
+    "window_batch",
+    "point_batch",
+    "window_org",
+    "point_org",
+    "join",
+    "workload",
+)
+"""Scenario names, in run order (must match _build_scenarios)."""
+
+_CALIBRATION_N = 1_000_000
+
+
+def _calibration_loop(n: int = _CALIBRATION_N) -> int:
+    """A fixed chunk of pure-Python integer arithmetic."""
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    return acc
+
+
+def calibrate(repeat: int = 3) -> float:
+    """Median seconds of the calibration loop on this machine."""
+    times = []
+    _calibration_loop(10_000)  # warm-up
+    for _ in range(repeat):
+        start = time.perf_counter()
+        _calibration_loop()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _time_median(fn: Callable[[], object], repeat: int) -> tuple[float, object]:
+    """Median wall seconds of ``fn`` over ``repeat`` runs (one untimed
+    warm-up first); returns ``(median_s, last_result)``."""
+    fn()
+    times = []
+    result: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+# ----------------------------------------------------------------------
+# scenario construction
+# ----------------------------------------------------------------------
+def _build_scenarios(scale: float, seed: int, series: str, queries: int):
+    """Prepare data and return ``[(name, callable, outcome_fn)]``.
+
+    ``outcome_fn`` maps a scenario result to a small comparable value —
+    the harness asserts it is identical across kernel modes.
+    """
+    from repro.data.tiger import generate_map
+    from repro.data.workload import point_workload, window_workload
+    from repro.database import SpatialDatabase
+    from repro.eval.config import ExperimentConfig
+    from repro.join.multistep import spatial_join
+    from repro.rtree.rstar import RStarTree
+    from repro.workload.streams import mixed_stream
+
+    config = ExperimentConfig(scale=scale, seed=seed)
+    spec = config.spec(series)
+    objects = generate_map(spec, seed=config.seed)
+    windows = window_workload(
+        objects, 1e-3, n_queries=queries, seed=config.seed + 7
+    )
+    points = point_workload(
+        window_workload(objects, 1e-3, n_queries=queries, seed=config.seed + 9)
+    )
+
+    # One shared database pair for the I/O-priced scenarios (built once,
+    # under the default kernels; both kernel modes build bit-identical
+    # trees, so sharing one build does not bias either mode).
+    db = SpatialDatabase(smax_bytes=spec.smax_bytes, name="r")
+    db.build(objects)
+    other_key = f"{series[:-1]}2" if series.endswith("1") else series
+    other_spec = config.spec(other_key)
+    other = db.attach("s", smax_bytes=other_spec.smax_bytes)
+    other.build(generate_map(other_spec, seed=config.seed, id_offset=10_000_000))
+
+    # A bare in-memory tree for the pure filter-step batches.
+    tree = RStarTree()
+    for obj in objects:
+        tree.insert(obj.oid, obj.mbr)
+
+    stream = mixed_stream(
+        objects,
+        n_windows=max(10, queries // 2),
+        n_points=max(10, queries // 2),
+        join_with=other,
+        seed=config.seed + 17,
+    )
+
+    def construction():
+        fresh = RStarTree()
+        for obj in objects:
+            fresh.insert(obj.oid, obj.mbr)
+        return fresh.node_count()
+
+    def window_batch():
+        return sum(len(r) for r in tree.window_query_batch(windows))
+
+    def point_batch():
+        return sum(len(r) for r in tree.point_query_batch(points))
+
+    def window_org():
+        return sum(len(db.storage.window_query(w).objects) for w in windows)
+
+    def point_org():
+        return sum(len(db.storage.point_query(x, y).objects) for x, y in points)
+
+    join_pages = config.join_buffer(1600)
+
+    def join():
+        result = db.join(other, buffer_pages=join_pages, evaluate_exact=True)
+        return (result.candidate_pairs, result.result_pairs)
+
+    def workload():
+        report = db.run_workload(stream, buffer_pages=400)
+        return sum(p.results for p in report.phases)
+
+    identity = lambda outcome: outcome  # noqa: E731
+    return [
+        ("construction", construction, identity),
+        ("window_batch", window_batch, identity),
+        ("point_batch", point_batch, identity),
+        ("window_org", window_org, identity),
+        ("point_org", point_org, identity),
+        ("join", join, identity),
+        ("workload", workload, identity),
+    ]
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+def run_bench(
+    scale: float = 0.05,
+    seed: int = 1994,
+    series: str = "A-1",
+    queries: int = 300,
+    repeat: int = 5,
+    only: list[str] | None = None,
+) -> dict:
+    """Measure every scenario under both kernel modes; returns the
+    JSON-ready result document."""
+    if only:
+        unknown = [name for name in only if name not in SCENARIOS]
+        if unknown:
+            raise ValueError(
+                f"unknown bench scenarios {unknown}; valid: {list(SCENARIOS)}"
+            )
+    calibration_s = calibrate()
+    scenarios = _build_scenarios(scale, seed, series, queries)
+    assert tuple(s[0] for s in scenarios) == SCENARIOS
+    if only:
+        scenarios = [s for s in scenarios if s[0] in only]
+
+    doc: dict = {
+        "name": BENCH_NAME,
+        "created_unix": int(time.time()),
+        "config": {
+            "scale": scale,
+            "seed": seed,
+            "series": series,
+            "queries": queries,
+            "repeat": repeat,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "calibration_s": calibration_s,
+        },
+        "scenarios": {},
+    }
+    try:
+        import numpy
+
+        doc["machine"]["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        pass
+
+    for name, fn, outcome_fn in scenarios:
+        with kernels.scalar_kernels(False):
+            vector_s, vector_result = _time_median(fn, repeat)
+        with kernels.scalar_kernels(True):
+            scalar_s, scalar_result = _time_median(fn, repeat)
+        vector_outcome = outcome_fn(vector_result)
+        scalar_outcome = outcome_fn(scalar_result)
+        if vector_outcome != scalar_outcome:
+            raise AssertionError(
+                f"kernel modes disagree on '{name}': "
+                f"vectorized={vector_outcome!r} scalar={scalar_outcome!r}"
+            )
+        doc["scenarios"][name] = {
+            "vectorized_s": vector_s,
+            "scalar_s": scalar_s,
+            "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+            "vectorized_norm": vector_s / calibration_s,
+            "scalar_norm": scalar_s / calibration_s,
+            "outcome": _jsonable(vector_outcome),
+        }
+    return doc
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def write_json(doc: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_report(doc: dict) -> str:
+    from repro.eval.report import format_table
+
+    rows = [
+        (
+            name,
+            f"{s['vectorized_s'] * 1000:.1f}",
+            f"{s['scalar_s'] * 1000:.1f}",
+            f"{s['speedup']:.2f}x",
+            f"{s['vectorized_norm']:.3f}",
+        )
+        for name, s in doc["scenarios"].items()
+    ]
+    return format_table(
+        ("scenario", "vectorized ms", "scalar ms", "speedup", "normalized"),
+        rows,
+        title=f"query-kernel wall clock (median of {doc['config']['repeat']}, "
+        f"calibration {doc['machine']['calibration_s'] * 1000:.1f} ms)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval bench",
+        description="Time the vectorized query kernels against the "
+        "scalar fallback and write BENCH_query_kernels.json.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale in (0, 1] (default 0.05 — large enough "
+        "that batch medians are stable; the speedups are what matters)",
+    )
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument(
+        "--series", type=str, default="A-1", help="Table 1 series (default A-1)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=300,
+        help="windows and points per batch (default 300)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=5,
+        help="repetitions per scenario; the median is reported (default 5)",
+    )
+    parser.add_argument(
+        "--only", type=str, default=None,
+        help="comma-separated scenario names to run",
+    )
+    parser.add_argument(
+        "--output", type=str, default=DEFAULT_OUTPUT, metavar="PATH",
+        help=f"result JSON path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    only = (
+        [n.strip() for n in args.only.split(",") if n.strip()]
+        if args.only
+        else None
+    )
+
+    try:
+        doc = run_bench(
+            scale=args.scale,
+            seed=args.seed,
+            series=args.series,
+            queries=args.queries,
+            repeat=args.repeat,
+            only=only,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(format_report(doc))
+    write_json(doc, args.output)
+    print(f"\n[bench: wrote {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -3,9 +3,10 @@
 ::
 
     python -m repro.eval [--scale 0.08] [--only fig8,fig12,...]
-    python -m repro.eval workload [--policies lru,clock] [--scale 0.02]
+    python -m repro.eval workload [--policies lru,clock] [--scale 0.02] [--profile]
     python -m repro.eval pagestore [--disks 1,2,4,8] [--placements spatial]
     python -m repro.eval iosched [--schedulers sync,overlap] [--prefetch none,cluster]
+    python -m repro.eval bench [--scale 0.02] [--repeat 5] [--output BENCH_query_kernels.json]
 
 The default mode regenerates every table and figure of the paper in
 sequence and prints the report tables; individual experiments can be
@@ -28,6 +29,13 @@ two client sessions run interleaved over a declustered store under
 each (scheduler, prefetch) combination, reporting device time, summed
 client response, workload makespan and the speed-up of overlapped
 asynchronous service over the synchronous baseline.
+
+The ``bench`` subcommand measures *wall-clock* CPU time of the
+vectorized query kernels against the ``REPRO_SCALAR_KERNELS``
+fallback (see :mod:`repro.bench`) and writes
+``BENCH_query_kernels.json``; ``--profile`` on the workload
+subcommand prints the top cProfile entries of the run so perf work
+can find the next hot spot.
 """
 
 from __future__ import annotations
@@ -141,6 +149,11 @@ def workload_main(argv: list[str]) -> int:
         "--disks", type=int, default=1,
         help="number of disks behind the buffer pool (default 1)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top-15 cumulative-time "
+        "entries (per policy), so perf PRs can find the next hot spot",
+    )
     args = parser.parse_args(argv)
 
     from repro.iosched import PREFETCHERS, SCHEDULERS
@@ -229,9 +242,27 @@ def workload_main(argv: list[str]) -> int:
                 recorded = True
                 count = save_trace(stream, args.trace)
                 print(f"[trace: recorded {count} operations to {args.trace}]")
-        report = db.run_workload(
-            stream, buffer_pages=args.buffer_pages, policy=policy
-        )
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            report = db.run_workload(
+                stream, buffer_pages=args.buffer_pages, policy=policy
+            )
+            profiler.disable()
+            buf = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buf)
+            stats.sort_stats("cumulative").print_stats(15)
+            print()
+            print(f"--- cProfile top 15 by cumulative time ({policy}) ---")
+            print(buf.getvalue())
+        else:
+            report = db.run_workload(
+                stream, buffer_pages=args.buffer_pages, policy=policy
+            )
         print()
         print(report.format())
         summary.append((policy, report.hit_rate, report.total_io.total_ms))
@@ -518,6 +549,10 @@ def main(argv: list[str] | None = None) -> int:
         return pagestore_main(argv[1:])
     if argv and argv[0] == "iosched":
         return iosched_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Reproduce the paper's tables and figures.",

@@ -6,12 +6,23 @@ produced candidate objects via their MBRs, the exact representation is
 tested against the query condition.  All predicates are closed-set
 predicates ("sharing points" counts as intersecting), matching the
 window-query definition of Section 2.
+
+The polyline predicates — the refinement hot spots — have two
+implementations (see :mod:`repro.core.kernels`): the default evaluates
+all segment pairs with broadcast numpy orientation masks, the scalar
+fallback tests segment-at-a-time.  Both run the identical float64
+comparisons (including the ``_EPS`` tolerances and the per-segment MBR
+pretest of the rectangle predicate), so the boolean answers agree on
+every input, eps-boundary cases included.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
+from repro.core import kernels
 from repro.geometry.rect import Rect
 
 __all__ = [
@@ -22,7 +33,29 @@ __all__ = [
     "point_in_polygon",
     "polyline_intersects_rect",
     "polylines_intersect",
+    "mbr_intersect_mask",
 ]
+
+
+def mbr_intersect_mask(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise closed-set MBR intersection over two ``(n, 4)`` matrices
+    (``xmin, ymin, xmax, ymax`` columns).
+
+    ``out[k]`` is True iff rectangles ``a[k]`` and ``b[k]`` share at
+    least one point — the same comparisons as
+    :meth:`~repro.geometry.rect.Rect.intersects`, batched.  This is the
+    multi-step join's refinement prefilter: candidate pairs whose exact
+    geometries have disjoint (tight) bounding boxes cannot intersect,
+    so the expensive exact test runs only on the surviving rows.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return (
+        (a[:, 0] <= b[:, 2])
+        & (b[:, 0] <= a[:, 2])
+        & (a[:, 1] <= b[:, 3])
+        & (b[:, 1] <= a[:, 3])
+    )
 
 _EPS = 1e-12
 
@@ -129,12 +162,24 @@ def point_in_polygon(
 
 
 def polyline_intersects_rect(
-    vertices: Sequence[tuple[float, float]], rect: Rect
+    vertices: Sequence[tuple[float, float]],
+    rect: Rect,
+    coords=None,
 ) -> bool:
     """True if any segment of the open polyline shares a point with the
-    rectangle; a single-vertex "polyline" degenerates to a point test."""
+    rectangle; a single-vertex "polyline" degenerates to a point test.
+
+    ``coords`` optionally provides the vertices as an ``(n, 2)``
+    float64 matrix — a zero-argument callable, so geometry objects can
+    hand in their cached matrix without the scalar path ever building
+    one."""
     if len(vertices) == 1:
         return rect.contains_point(*vertices[0])
+    if kernels.vectorized() and len(vertices) >= _VECTOR_MIN_VERTICES:
+        pts = coords() if coords is not None else np.asarray(
+            vertices, dtype=np.float64
+        )
+        return _polyline_intersects_rect_vector(pts, rect)
     for i in range(len(vertices) - 1):
         if segment_intersects_rect(vertices[i], vertices[i + 1], rect):
             return True
@@ -142,22 +187,149 @@ def polyline_intersects_rect(
 
 
 def polylines_intersect(
-    a: Sequence[tuple[float, float]], b: Sequence[tuple[float, float]]
+    a: Sequence[tuple[float, float]],
+    b: Sequence[tuple[float, float]],
+    coords_a=None,
+    coords_b=None,
 ) -> bool:
     """True if two open polylines share at least one point.
 
     This is the exact-geometry predicate of the intersection join for
     line-shaped TIGER objects (streets vs. rivers/rails).  The naive
-    all-pairs segment test is quadratic; callers that need speed should
-    pre-filter with MBRs, which is exactly what the multi-step join of
-    [BKSS94] does.
+    all-pairs segment test is quadratic; the default kernel batches it
+    into broadcast orientation masks over blocks of segment pairs
+    (early-exiting on the first intersecting block), while callers
+    still pre-filter with MBRs, as the multi-step join of [BKSS94]
+    does.  ``coords_a``/``coords_b`` optionally provide the vertex
+    matrices (zero-argument callables, evaluated only on the
+    vectorized path).
     """
     if len(a) == 1 and len(b) == 1:
         return abs(a[0][0] - b[0][0]) <= _EPS and abs(a[0][1] - b[0][1]) <= _EPS
+    if (
+        kernels.vectorized()
+        and len(a) >= 2
+        and len(b) >= 2
+        and (len(a) - 1) * (len(b) - 1) >= _VECTOR_MIN_CELLS
+    ):
+        pts_a = coords_a() if coords_a is not None else np.asarray(
+            a, dtype=np.float64
+        )
+        pts_b = coords_b() if coords_b is not None else np.asarray(
+            b, dtype=np.float64
+        )
+        return _polylines_intersect_vector(pts_a, pts_b)
     for i in range(max(len(a) - 1, 1)):
         sa = (a[i], a[min(i + 1, len(a) - 1)])
         for j in range(max(len(b) - 1, 1)):
             sb = (b[j], b[min(j + 1, len(b) - 1)])
             if segments_intersect(sa[0], sa[1], sb[0], sb[1]):
                 return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# vectorized kernels
+# ----------------------------------------------------------------------
+_BLOCK_CELLS = 65536
+"""Upper bound on the segment-pair cells evaluated per numpy block —
+bounds the broadcast temporaries and gives long polylines the same
+early-exit the scalar loops have."""
+
+_VECTOR_MIN_CELLS = 128
+"""Line/line pairs below this many segment-pair cells run the scalar
+loop even in vectorized mode: numpy call overhead dominates small
+broadcasts (measured crossover ~100-200 cells), while the quadratic
+cost the kernels eliminate concentrates in the large pairs.  Purely a
+performance heuristic — both paths return identical booleans."""
+
+_VECTOR_MIN_VERTICES = 64
+"""Polyline/rect tests below this many vertices run the scalar loop
+even in vectorized mode (the scalar path early-exits after a handful
+of cheap per-segment checks; measured crossover ~64 vertices).  Purely
+a performance heuristic — both paths return identical booleans."""
+
+
+def _orientation_mask(ax, ay, bx, by, cx, cy) -> np.ndarray:
+    """Vectorized :func:`orientation`: the same cross product and
+    ``_EPS`` thresholds, elementwise."""
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    return np.where(cross > _EPS, 1, np.where(cross < -_EPS, -1, 0))
+
+
+def _on_segment_mask(ax, ay, bx, by, px, py) -> np.ndarray:
+    """Vectorized :func:`on_segment` (collinearity assumed)."""
+    return (
+        (np.minimum(ax, bx) - _EPS <= px)
+        & (px <= np.maximum(ax, bx) + _EPS)
+        & (np.minimum(ay, by) - _EPS <= py)
+        & (py <= np.maximum(ay, by) + _EPS)
+    )
+
+
+def _segments_intersect_mask(
+    a0: np.ndarray, a1: np.ndarray, b0: np.ndarray, b1: np.ndarray
+) -> np.ndarray:
+    """``(p, q)`` mask of closed-segment intersection between segments
+    ``a0[i]-a1[i]`` and ``b0[j]-b1[j]`` — :func:`segments_intersect`
+    over all pairs at once."""
+    ax, ay = a0[:, None, 0], a0[:, None, 1]
+    bx, by = a1[:, None, 0], a1[:, None, 1]
+    cx, cy = b0[None, :, 0], b0[None, :, 1]
+    dx, dy = b1[None, :, 0], b1[None, :, 1]
+    o1 = _orientation_mask(ax, ay, bx, by, cx, cy)
+    o2 = _orientation_mask(ax, ay, bx, by, dx, dy)
+    o3 = _orientation_mask(cx, cy, dx, dy, ax, ay)
+    o4 = _orientation_mask(cx, cy, dx, dy, bx, by)
+    hit = (o1 != o2) & (o3 != o4)
+    hit |= (o1 == 0) & _on_segment_mask(ax, ay, bx, by, cx, cy)
+    hit |= (o2 == 0) & _on_segment_mask(ax, ay, bx, by, dx, dy)
+    hit |= (o3 == 0) & _on_segment_mask(cx, cy, dx, dy, ax, ay)
+    hit |= (o4 == 0) & _on_segment_mask(cx, cy, dx, dy, bx, by)
+    return hit
+
+
+def _polylines_intersect_vector(pts_a: np.ndarray, pts_b: np.ndarray) -> bool:
+    a0, a1 = pts_a[:-1], pts_a[1:]
+    b0, b1 = pts_b[:-1], pts_b[1:]
+    block = max(1, _BLOCK_CELLS // max(len(b0), 1))
+    for start in range(0, len(a0), block):
+        end = start + block
+        if _segments_intersect_mask(a0[start:end], a1[start:end], b0, b1).any():
+            return True
+    return False
+
+
+def _polyline_intersects_rect_vector(pts: np.ndarray, rect: Rect) -> bool:
+    # Any vertex inside the rectangle decides immediately (the scalar
+    # loop's trivial accept — every vertex is some segment's endpoint).
+    inside = (
+        (rect.xmin <= pts[:, 0])
+        & (pts[:, 0] <= rect.xmax)
+        & (rect.ymin <= pts[:, 1])
+        & (pts[:, 1] <= rect.ymax)
+    )
+    if inside.any():
+        return True
+    a0, a1 = pts[:-1], pts[1:]
+    # The scalar path skips a segment whose own MBR misses the
+    # rectangle *before* the eps-tolerant edge tests; keep that pretest
+    # as a mask so eps-boundary answers stay identical.
+    seg_ok = (
+        (np.minimum(a0[:, 0], a1[:, 0]) <= rect.xmax)
+        & (rect.xmin <= np.maximum(a0[:, 0], a1[:, 0]))
+        & (np.minimum(a0[:, 1], a1[:, 1]) <= rect.ymax)
+        & (rect.ymin <= np.maximum(a0[:, 1], a1[:, 1]))
+    )
+    if not seg_ok.any():
+        return False
+    a0, a1 = a0[seg_ok], a1[seg_ok]
+    corners = np.array(list(rect.corners()), dtype=np.float64)
+    c0 = corners
+    c1 = np.roll(corners, -1, axis=0)
+    block = max(1, _BLOCK_CELLS // 4)
+    for start in range(0, len(a0), block):
+        end = start + block
+        if _segments_intersect_mask(a0[start:end], a1[start:end], c0, c1).any():
+            return True
     return False

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geometry.intersect import (
     point_in_polygon,
@@ -30,7 +32,7 @@ class Polygon:
     edge is implied.
     """
 
-    __slots__ = ("vertices", "_mbr")
+    __slots__ = ("vertices", "_mbr", "_ring", "_ring_coords")
 
     def __init__(self, vertices: Sequence[tuple[float, float]]):
         if len(vertices) < 3:
@@ -44,6 +46,8 @@ class Polygon:
             raise GeometryError("polygon ring collapsed to fewer than 3 vertices")
         self.vertices: tuple[tuple[float, float], ...] = tuple(ring)
         self._mbr: Rect | None = None
+        self._ring: tuple[tuple[float, float], ...] | None = None
+        self._ring_coords: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -74,7 +78,16 @@ class Polygon:
         return polyline_size_bytes(len(self.vertices))
 
     def _closed_ring(self) -> tuple[tuple[float, float], ...]:
-        return self.vertices + (self.vertices[0],)
+        if self._ring is None:
+            self._ring = self.vertices + (self.vertices[0],)
+        return self._ring
+
+    def ring_coords(self) -> np.ndarray:
+        """The closed ring as a cached ``(n + 1, 2)`` float64 matrix for
+        the vectorized refinement kernels (polygons are immutable)."""
+        if self._ring_coords is None:
+            self._ring_coords = np.asarray(self._closed_ring(), dtype=np.float64)
+        return self._ring_coords
 
     # ------------------------------------------------------------------
     # exact predicates
@@ -91,7 +104,7 @@ class Polygon:
         if not self.mbr.intersects(rect):
             return False
         # Boundary crosses the window?
-        if polyline_intersects_rect(self._closed_ring(), rect):
+        if polyline_intersects_rect(self._closed_ring(), rect, coords=self.ring_coords):
             return True
         # Window fully inside the polygon?
         if point_in_polygon(rect.xmin, rect.ymin, self.vertices):
@@ -103,7 +116,12 @@ class Polygon:
         """Polygon/polygon intersection (boundaries or containment)."""
         if not self.mbr.intersects(other.mbr):
             return False
-        if polylines_intersect(self._closed_ring(), other._closed_ring()):
+        if polylines_intersect(
+            self._closed_ring(),
+            other._closed_ring(),
+            coords_a=self.ring_coords,
+            coords_b=other.ring_coords,
+        ):
             return True
         if point_in_polygon(*other.vertices[0], self.vertices):
             return True

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geometry.intersect import polyline_intersects_rect, polylines_intersect
 from repro.geometry.rect import Rect
@@ -29,7 +31,7 @@ class Polyline:
         segment is implied.
     """
 
-    __slots__ = ("vertices", "_mbr")
+    __slots__ = ("vertices", "_mbr", "_coords")
 
     def __init__(self, vertices: Sequence[tuple[float, float]]):
         if len(vertices) < 2:
@@ -40,6 +42,7 @@ class Polyline:
             (float(x), float(y)) for x, y in vertices
         )
         self._mbr: Rect | None = None
+        self._coords: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -48,6 +51,14 @@ class Polyline:
         if self._mbr is None:
             self._mbr = Rect.from_points(self.vertices)
         return self._mbr
+
+    def coords(self) -> np.ndarray:
+        """The vertices as a cached ``(n, 2)`` float64 matrix — what the
+        vectorized refinement kernels consume.  The polyline is
+        immutable, so the cache never invalidates."""
+        if self._coords is None:
+            self._coords = np.asarray(self.vertices, dtype=np.float64)
+        return self._coords
 
     def __len__(self) -> int:
         return len(self.vertices)
@@ -80,15 +91,22 @@ class Polyline:
         """Exact window-query predicate."""
         if not self.mbr.intersects(rect):
             return False
-        return polyline_intersects_rect(self.vertices, rect)
+        return polyline_intersects_rect(self.vertices, rect, coords=self.coords)
 
     def contains_point(self, x: float, y: float) -> bool:
         """Point queries on line data: true if the point lies on the chain
         (within numeric tolerance); lines have no interior."""
-        return polyline_intersects_rect(self.vertices, Rect(x, y, x, y))
+        return polyline_intersects_rect(
+            self.vertices, Rect(x, y, x, y), coords=self.coords
+        )
 
     def intersects(self, other: "Polyline") -> bool:
         """Exact intersection-join predicate."""
         if not self.mbr.intersects(other.mbr):
             return False
-        return polylines_intersect(self.vertices, other.vertices)
+        return polylines_intersect(
+            self.vertices,
+            other.vertices,
+            coords_a=self.coords,
+            coords_b=other.coords,
+        )

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.buffer.policy import ReplacementPolicy
 from repro.buffer.pool import BufferPool
+from repro.core import kernels
 from repro.disk.model import DiskModel
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
@@ -33,11 +34,25 @@ LeafGroup = tuple[Node, Node, list[tuple[Entry, Entry]]]
 
 def _intersecting_pairs(nr: Node, ns: Node) -> list[tuple[int, int]]:
     """Indexes of intersecting entry pairs, sorted by the smaller of the
-    two xmin coordinates (the spatial processing order of [BKS93b])."""
+    two xmin coordinates (the spatial processing order of [BKS93b]).
+
+    Pair order is pinned (a regression test relies on it): candidate
+    pairs are generated in row-major ``(i, j)`` order and reordered by a
+    *stable* sort on ``max(a[i].xmin, b[j].xmin)``, so ties keep the
+    row-major order.  The scalar fallback replicates this exactly.
+
+    A cheap whole-node MBR pretest returns early — without allocating
+    the ``n x m`` broadcast mask — when the two nodes cannot share any
+    pair at all.
+    """
+    if len(nr.entries) == 0 or len(ns.entries) == 0:
+        return []
+    if not nr.mbr().intersects(ns.mbr()):
+        return []
+    if not kernels.vectorized():
+        return _intersecting_pairs_scalar(nr, ns)
     a = nr.rect_matrix()
     b = ns.rect_matrix()
-    if len(a) == 0 or len(b) == 0:
-        return []
     hits = (
         (a[:, None, 0] <= b[None, :, 2])
         & (b[None, :, 0] <= a[:, None, 2])
@@ -50,6 +65,23 @@ def _intersecting_pairs(nr: Node, ns: Node) -> list[tuple[int, int]]:
     xmin = np.maximum(a[pairs[:, 0], 0], b[pairs[:, 1], 0])
     order = np.argsort(xmin, kind="stable")
     return [(int(i), int(j)) for i, j in pairs[order]]
+
+
+def _intersecting_pairs_scalar(nr: Node, ns: Node) -> list[tuple[int, int]]:
+    """Entry-at-a-time fallback of :func:`_intersecting_pairs`; produces
+    the identical pair list (row-major candidates, stable sort)."""
+    pairs = [
+        (i, j)
+        for i, er in enumerate(nr.entries)
+        for j, es in enumerate(ns.entries)
+        if er.rect.intersects(es.rect)
+    ]
+    pairs.sort(
+        key=lambda ij: max(
+            nr.entries[ij[0]].rect.xmin, ns.entries[ij[1]].rect.xmin
+        )
+    )
+    return pairs
 
 
 class MBRJoin:

@@ -19,17 +19,62 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.buffer.policy import hit_ratio
 from repro.buffer.pool import BufferPool
 from repro.constants import EXACT_TEST_MS
+from repro.core import kernels
 from repro.disk.model import DiskStats
 from repro.errors import ConfigurationError
 from repro.geometry.decomposed import ExactTestCounter
+from repro.geometry.intersect import mbr_intersect_mask
 from repro.join.mbr_join import MBRJoin
 from repro.join.object_access import JOIN_TECHNIQUES, ObjectTransfer
 from repro.storage.base import SpatialOrganization
 
 __all__ = ["JoinResult", "spatial_join"]
+
+
+def _refinement_survivors(
+    org_r: SpatialOrganization,
+    org_s: SpatialOrganization,
+    pairs: list,
+) -> list:
+    """The candidate *object* pairs whose exact geometries can possibly
+    intersect: a batched prefilter on the *tight* geometry MBRs (entry
+    rectangles may be expanded test versions, Section 6.1).
+
+    Dropping a pair never changes the join result — every exact
+    predicate starts from its geometries' bounding boxes — so the
+    reported ``result_pairs`` is identical with and without the
+    prefilter; only the Python-level exact-test call chain is skipped.
+    The object-table lookups happen here once and the surviving
+    ``(obj_r, obj_s)`` pairs are returned resolved, so the refinement
+    loop does not repeat them.  The scalar fallback keeps the legacy
+    behavior of running the exact test on every candidate.
+    """
+    resolved = [
+        (org_r.objects[entry_r.oid], org_s.objects[entry_s.oid])
+        for entry_r, entry_s in pairs
+    ]
+    if not kernels.vectorized() or not pairs:
+        return resolved
+    a = np.empty((len(resolved), 4), dtype=np.float64)
+    b = np.empty((len(resolved), 4), dtype=np.float64)
+    for k, (obj_r, obj_s) in enumerate(resolved):
+        mbr_r = obj_r.geometry.mbr
+        mbr_s = obj_s.geometry.mbr
+        a[k, 0] = mbr_r.xmin
+        a[k, 1] = mbr_r.ymin
+        a[k, 2] = mbr_r.xmax
+        a[k, 3] = mbr_r.ymax
+        b[k, 0] = mbr_s.xmin
+        b[k, 1] = mbr_s.ymin
+        b[k, 2] = mbr_s.xmax
+        b[k, 3] = mbr_s.ymax
+    mask = mbr_intersect_mask(a, b)
+    return [pair for pair, keep in zip(resolved, mask.tolist()) if keep]
 
 
 @dataclass(slots=True)
@@ -136,9 +181,7 @@ def spatial_join(
         counter.record(len(pairs))
         if evaluate_exact:
             assert result.result_pairs is not None
-            for entry_r, entry_s in pairs:
-                obj_r = org_r.objects[entry_r.oid]
-                obj_s = org_s.objects[entry_s.oid]
+            for obj_r, obj_s in _refinement_survivors(org_r, org_s, pairs):
                 if obj_r.intersects(obj_s):
                     result.result_pairs += 1
 

@@ -186,13 +186,10 @@ class SpatialPlacement(PlacementPolicy):
     def choose_disk(self, extent: Extent, center=None) -> int | None:
         if center is None:
             return None
-        from repro.core.hilbert import hilbert_index
+        from repro.core.hilbert import point_key
 
-        side = 1 << self.order
         x, y = center
-        gx = min(side - 1, max(0, int(x / self.data_space * side)))
-        gy = min(side - 1, max(0, int(y / self.data_space * side)))
-        return hilbert_index(gx, gy, self.order) % self.n_disks
+        return point_key(x, y, self.data_space, self.order) % self.n_disks
 
 
 PLACEMENTS: dict[str, type[PlacementPolicy]] = {

@@ -41,7 +41,18 @@ class Node:
         the leaf's cluster unit here).
     """
 
-    __slots__ = ("node_id", "level", "entries", "parent", "page", "tag", "_rects", "_rects_valid")
+    __slots__ = (
+        "node_id",
+        "level",
+        "entries",
+        "parent",
+        "page",
+        "tag",
+        "_rects",
+        "_rects_valid",
+        "_mbr",
+        "_query_matrix",
+    )
 
     def __init__(self, node_id: int, level: int, entries: list[Entry] | None = None):
         self.node_id = node_id
@@ -52,6 +63,8 @@ class Node:
         self.tag: Any = None
         self._rects: np.ndarray | None = None
         self._rects_valid = False
+        self._mbr: Rect | None = None
+        self._query_matrix: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -69,16 +82,22 @@ class Node:
 
     # ------------------------------------------------------------------
     def mbr(self) -> Rect:
-        """Union of all entry rectangles."""
-        return Rect.union_of(e.rect for e in self.entries)
+        """Union of all entry rectangles (cached; min/max unions are
+        exact, so the cached value is bit-identical to a fresh one)."""
+        if self._mbr is None:
+            self._mbr = Rect.union_of(e.rect for e in self.entries)
+        return self._mbr
 
     def load(self) -> int:
         """Total byte load of the entries (drives byte-capacity splits)."""
         return sum(e.load for e in self.entries)
 
     def invalidate(self) -> None:
-        """Drop the cached rect matrix after any entry mutation."""
+        """Drop the cached rect matrix, query matrix and MBR after any
+        entry mutation."""
         self._rects_valid = False
+        self._mbr = None
+        self._query_matrix = None
 
     def rect_matrix(self) -> np.ndarray:
         """An ``(n, 4)`` float64 matrix of the entry rectangles, cached
@@ -92,18 +111,42 @@ class Node:
                 dtype=np.float64,
             ).reshape(len(self.entries), 4)
             self._rects_valid = True
+            self._query_matrix = None
         return self._rects
+
+    def query_matrix(self) -> np.ndarray:
+        """The negated rect matrix ``(xmin, ymin, -xmax, -ymax)`` the
+        query kernels compare in one shot (see
+        :func:`repro.core.kernels.qvec_mask`); cached alongside
+        :meth:`rect_matrix` and derived from it, so it inherits the
+        exact same float64 values (negation is lossless)."""
+        if self._query_matrix is None or not self._rects_valid or len(
+            self._query_matrix
+        ) != len(self.entries):
+            rects = self.rect_matrix()
+            qm = rects.copy()
+            np.negative(qm[:, 2:], out=qm[:, 2:])
+            self._query_matrix = qm
+        return self._query_matrix
 
     def patch_rect(self, index: int, rect: Rect) -> None:
         """Update one row of the cached rect matrix in place after the
         entry at ``index`` changed its rectangle (cheaper than a full
-        :meth:`invalidate` + rebuild)."""
+        :meth:`invalidate` + rebuild).  The cached node MBR still drops:
+        a patched rectangle may move any boundary."""
         if self._rects_valid and self._rects is not None and index < len(self._rects):
             row = self._rects[index]
             row[0] = rect.xmin
             row[1] = rect.ymin
             row[2] = rect.xmax
             row[3] = rect.ymax
+            if self._query_matrix is not None and index < len(self._query_matrix):
+                qrow = self._query_matrix[index]
+                qrow[0] = rect.xmin
+                qrow[1] = rect.ymin
+                qrow[2] = -rect.xmax
+                qrow[3] = -rect.ymax
+        self._mbr = None
 
     # ------------------------------------------------------------------
     def add(self, entry: Entry) -> None:

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+import numpy as np
+
+from repro.core import kernels
 from repro.constants import (
     ENTRY_SIZE,
     MIN_FILL_FRACTION,
@@ -260,7 +263,13 @@ class RStarTree:
         if node.is_leaf:
             self.leaf_splits += 1
             self.leaf_count += 1
-        group1, group2 = rstar_split(node.entries, self.min_fill_fraction)
+        group1, group2 = rstar_split(
+            node.entries,
+            self.min_fill_fraction,
+            # The scalar fallback never reads the matrix — don't build
+            # one just to hand it over.
+            rects=node.rect_matrix() if kernels.vectorized() else None,
+        )
         node.entries = group1
         node.invalidate()
         new_node = self._new_node(node.level)
@@ -380,7 +389,117 @@ class RStarTree:
     def window_query(self, window: Rect) -> list[Entry]:
         """All data entries whose MBR shares points with ``window``
         (the *filter* step; exact refinement is the storage layer's
-        job).  Visited pages are priced through the pager."""
+        job).  Visited pages are priced through the pager.
+
+        The default path filters each visited node with one boolean
+        mask over its cached rectangle matrix; the scalar fallback
+        tests entry-at-a-time.  Both visit the same pages in the same
+        stack-DFS order and return the entries in the same order."""
+        if not kernels.vectorized():
+            return self._window_query_scalar(window)
+        qvec = kernels.window_qvec(window)
+        result: list[Entry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._read(node)
+            if not node.entries:
+                continue
+            hits = kernels.qvec_mask(
+                node.query_matrix(), qvec
+            ).nonzero()[0].tolist()
+            entries = node.entries
+            if node.is_leaf:
+                result += [entries[i] for i in hits]
+            else:
+                for i in hits:
+                    child = entries[i].child
+                    assert child is not None
+                    stack.append(child)
+        return result
+
+    def window_query_batch(self, windows: list[Rect]) -> list[list[Entry]]:
+        """Run many window queries through **one shared traversal**.
+
+        Per visited node, a single ``(n, q_active)`` broadcast mask
+        filters the entries for every query still alive in the subtree
+        — the batched form of :meth:`window_query` that amortises the
+        per-node kernel overhead over the whole batch.
+
+        Equivalence contract: ``window_query_batch(ws)[i]`` is exactly
+        ``window_query(ws[i])`` — same entries, same order (the shared
+        traversal expands children in the same reverse-entry-order DFS,
+        so every query sees its private visit order).  Each visited
+        page is read once per query that reaches it, so the read
+        *multiset* matches per-query execution; a stateful pager may
+        price the interleaved seek order differently.  The scalar
+        fallback simply loops the per-query scalar path.
+        """
+        if not windows:
+            return []
+        if not kernels.vectorized():
+            return [self._window_query_scalar(w) for w in windows]
+        qmat = np.array(
+            [(w.xmax, w.ymax, -w.xmin, -w.ymin) for w in windows],
+            dtype=np.float64,
+        )
+        return self._query_batch(qmat)
+
+    def point_query_batch(
+        self, points: list[tuple[float, float]]
+    ) -> list[list[Entry]]:
+        """Run many point queries through one shared traversal; element
+        ``i`` equals ``point_query(*points[i])`` exactly (a point is a
+        degenerate window, so the same one-sided comparison applies)."""
+        if not points:
+            return []
+        if not kernels.vectorized():
+            return [self._point_query_scalar(x, y) for x, y in points]
+        qmat = np.array(
+            [(x, y, -x, -y) for x, y in points], dtype=np.float64
+        )
+        return self._query_batch(qmat)
+
+    def _query_batch(self, qmat: np.ndarray) -> list[list[Entry]]:
+        results: list[list[Entry]] = [[] for _ in range(len(qmat))]
+        stack: list[tuple[Node, np.ndarray]] = [
+            (self.root, np.arange(len(qmat)))
+        ]
+        while stack:
+            node, active = stack.pop()
+            if self.pager is not None:
+                # One read per query that reaches this node — the same
+                # read multiset as running the queries one at a time.
+                for _ in range(len(active)):
+                    self.pager.read(node)
+            if not node.entries:
+                continue
+            # hits[i, j]: entry i matches active query j.
+            hits = (
+                node.query_matrix()[:, None, :] <= qmat[active][None, :, :]
+            ).all(axis=2)
+            entries = node.entries
+            if node.is_leaf:
+                # One nonzero over the transposed mask yields the hit
+                # pairs grouped by query, entries ascending within each
+                # group — the per-query legacy order.
+                qs, es = hits.T.nonzero()
+                current: list[Entry] | None = None
+                previous = -1
+                for j, i in zip(qs.tolist(), es.tolist()):
+                    if j != previous:
+                        current = results[int(active[j])]
+                        previous = j
+                    assert current is not None
+                    current.append(entries[i])
+            else:
+                for i in hits.any(axis=1).nonzero()[0].tolist():
+                    child = entries[i].child
+                    assert child is not None
+                    stack.append((child, active[hits[i]]))
+        return results
+
+    def _window_query_scalar(self, window: Rect) -> list[Entry]:
         result: list[Entry] = []
         stack = [self.root]
         while stack:
@@ -399,6 +518,30 @@ class RStarTree:
 
     def point_query(self, x: float, y: float) -> list[Entry]:
         """All data entries whose MBR contains the point."""
+        if not kernels.vectorized():
+            return self._point_query_scalar(x, y)
+        qvec = kernels.point_qvec(x, y)
+        result: list[Entry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._read(node)
+            if not node.entries:
+                continue
+            hits = kernels.qvec_mask(
+                node.query_matrix(), qvec
+            ).nonzero()[0].tolist()
+            entries = node.entries
+            if node.is_leaf:
+                result += [entries[i] for i in hits]
+            else:
+                for i in hits:
+                    child = entries[i].child
+                    assert child is not None
+                    stack.append(child)
+        return result
+
+    def _point_query_scalar(self, x: float, y: float) -> list[Entry]:
         result: list[Entry] = []
         stack = [self.root]
         while stack:
@@ -420,6 +563,33 @@ class RStarTree:
         cluster-organization read techniques operate on (Section 5.4).
         Only pages with at least one match are returned; visited pages
         are priced through the pager."""
+        if not kernels.vectorized():
+            return self._window_leaves_scalar(window)
+        qvec = kernels.window_qvec(window)
+        groups: list[tuple[Node, list[Entry]]] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._read(node)
+            if not node.entries:
+                continue
+            hits = kernels.qvec_mask(
+                node.query_matrix(), qvec
+            ).nonzero()[0].tolist()
+            entries = node.entries
+            if node.is_leaf:
+                if hits:
+                    groups.append((node, [entries[i] for i in hits]))
+            else:
+                for i in hits:
+                    child = entries[i].child
+                    assert child is not None
+                    stack.append(child)
+        return groups
+
+    def _window_leaves_scalar(
+        self, window: Rect
+    ) -> list[tuple[Node, list[Entry]]]:
         groups: list[tuple[Node, list[Entry]]] = []
         stack = [self.root]
         while stack:
@@ -439,6 +609,29 @@ class RStarTree:
     def matching_leaves(self, window: Rect) -> list[Node]:
         """The data pages holding at least one entry matching ``window``
         — the cluster units a window query must touch (Section 4.2.2)."""
+        if not kernels.vectorized():
+            return self._matching_leaves_scalar(window)
+        qvec = kernels.window_qvec(window)
+        leaves: list[Node] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._read(node)
+            if not node.entries:
+                continue
+            mask = kernels.qvec_mask(node.query_matrix(), qvec)
+            if node.is_leaf:
+                if mask.any():
+                    leaves.append(node)
+            else:
+                entries = node.entries
+                for i in mask.nonzero()[0].tolist():
+                    child = entries[i].child
+                    assert child is not None
+                    stack.append(child)
+        return leaves
+
+    def _matching_leaves_scalar(self, window: Rect) -> list[Node]:
         leaves: list[Node] = []
         stack = [self.root]
         while stack:

@@ -14,10 +14,22 @@ The same routine performs the *cluster split* of Section 4.2.2: when a
 cluster unit outgrows ``Smax``, its data page is "split into exactly two
 cluster units and the objects are distributed onto these cluster units
 according to the R*-tree split algorithm".
+
+Two implementations coexist (see :mod:`repro.core.kernels`): the
+default computes sort orders, prefix/suffix MBRs, margins, overlaps and
+areas as numpy operations over the entries' rectangle matrix; the
+scalar fallback is the entry-at-a-time original.  They are
+bit-identical: every arithmetic step runs the same float64 operations
+in the same element order, sums and argmins replicate the sequential
+tie-breaking exactly, and both sorts are stable — so both paths always
+produce the same two groups in the same order.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core import kernels
 from repro.errors import TreeError
 from repro.geometry.rect import Rect
 from repro.rtree.entry import Entry
@@ -27,6 +39,9 @@ __all__ = ["rstar_split", "SplitResult"]
 SplitResult = tuple[list[Entry], list[Entry]]
 
 
+# ----------------------------------------------------------------------
+# scalar fallback (the original entry-at-a-time implementation)
+# ----------------------------------------------------------------------
 def _prefix_mbrs(entries: list[Entry]) -> list[Rect]:
     """``out[i]`` = MBR of ``entries[: i + 1]``."""
     out: list[Rect] = []
@@ -54,26 +69,7 @@ def _distributions(
     return result
 
 
-def rstar_split(entries: list[Entry], min_fill_fraction: float = 0.4) -> SplitResult:
-    """Split an overflowing entry list into two groups per [BKSS90].
-
-    Parameters
-    ----------
-    entries:
-        At least two entries.
-    min_fill_fraction:
-        Fraction of the entries that must land in each group (the
-        R*-tree recommends 40 %).
-
-    Returns
-    -------
-    Two non-empty entry lists whose union is the input.
-    """
-    n = len(entries)
-    if n < 2:
-        raise TreeError(f"cannot split a node with {n} entries")
-    m = max(1, min(int(min_fill_fraction * n), n // 2))
-
+def _rstar_split_scalar(entries: list[Entry], m: int) -> SplitResult:
     # ------------------------------------------------------------------
     # ChooseSplitAxis: minimum margin sum over both sort orders per axis.
     # ------------------------------------------------------------------
@@ -107,3 +103,134 @@ def rstar_split(entries: list[Entry], min_fill_fraction: float = 0.4) -> SplitRe
     assert best is not None
     k, ordered = best
     return list(ordered[:k]), list(ordered[k:])
+
+
+# ----------------------------------------------------------------------
+# vectorized kernels
+# ----------------------------------------------------------------------
+def _group_mbrs(
+    rects: np.ndarray, perm: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per legal distribution of one sort order, the MBRs of the two
+    groups as ``(d, 4)`` matrices (``d = n - 2m + 1`` distributions;
+    distribution ``i`` puts ``m + i`` entries into the first group)."""
+    ordered = rects[perm]
+    # prefix[i] = MBR of rows [0 .. i], suffix[i] = MBR of rows [i .. n-1]
+    prefix = np.empty_like(ordered)
+    np.minimum.accumulate(ordered[:, 0], out=prefix[:, 0])
+    np.minimum.accumulate(ordered[:, 1], out=prefix[:, 1])
+    np.maximum.accumulate(ordered[:, 2], out=prefix[:, 2])
+    np.maximum.accumulate(ordered[:, 3], out=prefix[:, 3])
+    reverse = ordered[::-1]
+    suffix = np.empty_like(ordered)
+    np.minimum.accumulate(reverse[:, 0], out=suffix[:, 0])
+    np.minimum.accumulate(reverse[:, 1], out=suffix[:, 1])
+    np.maximum.accumulate(reverse[:, 2], out=suffix[:, 2])
+    np.maximum.accumulate(reverse[:, 3], out=suffix[:, 3])
+    suffix = suffix[::-1]
+    n = len(rects)
+    ks = np.arange(m, n - m + 1)
+    return prefix[ks - 1], suffix[ks]
+
+
+def _margins(group: np.ndarray) -> np.ndarray:
+    """Row-wise margin (half perimeter), ``width + height`` exactly as
+    :meth:`repro.geometry.rect.Rect.margin` computes it."""
+    return (group[:, 2] - group[:, 0]) + (group[:, 3] - group[:, 1])
+
+
+def _overlaps(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Row-wise overlap area, replicating ``Rect.overlap_area`` (exactly
+    0.0 for disjoint or merely touching group MBRs)."""
+    w = np.minimum(first[:, 2], second[:, 2]) - np.maximum(first[:, 0], second[:, 0])
+    h = np.minimum(first[:, 3], second[:, 3]) - np.maximum(first[:, 1], second[:, 1])
+    return np.where((w > 0.0) & (h > 0.0), w * h, 0.0)
+
+
+def _areas(group: np.ndarray) -> np.ndarray:
+    return (group[:, 2] - group[:, 0]) * (group[:, 3] - group[:, 1])
+
+
+def _rstar_split_vector(
+    entries: list[Entry], m: int, rects: np.ndarray
+) -> SplitResult:
+    # ------------------------------------------------------------------
+    # ChooseSplitAxis.  np.lexsort is stable, so the permutations match
+    # Python's sorted(key=(lower, upper)); the margin sum runs over the
+    # per-distribution values sequentially (lower order first), exactly
+    # like the scalar generator sum.
+    # ------------------------------------------------------------------
+    best = None  # (margin_sum, perms, groups)
+    for lo, hi in ((0, 2), (1, 3)):  # x axis, y axis
+        perm_lower = np.lexsort((rects[:, hi], rects[:, lo]))
+        perm_upper = np.lexsort((rects[:, lo], rects[:, hi]))
+        f1, s1 = _group_mbrs(rects, perm_lower, m)
+        f2, s2 = _group_mbrs(rects, perm_upper, m)
+        margin_values = np.concatenate(
+            [_margins(f1) + _margins(s1), _margins(f2) + _margins(s2)]
+        )
+        margin_sum = sum(margin_values.tolist())
+        if best is None or margin_sum < best[0]:
+            best = (margin_sum, (perm_lower, perm_upper), (f1, s1, f2, s2))
+
+    assert best is not None
+    (perm_lower, perm_upper) = best[1]
+    f1, s1, f2, s2 = best[2]
+
+    # ------------------------------------------------------------------
+    # ChooseSplitIndex: least overlap, ties by least combined area, then
+    # by position (lexsort is stable, so the first minimal distribution
+    # wins — matching the sequential strict-< scan).
+    # ------------------------------------------------------------------
+    first = np.concatenate([f1, f2])
+    second = np.concatenate([s1, s2])
+    overlaps = _overlaps(first, second)
+    areas = _areas(first) + _areas(second)
+    pick = int(np.lexsort((areas, overlaps))[0])
+    per_order = len(f1)
+    if pick < per_order:
+        perm, k = perm_lower, m + pick
+    else:
+        perm, k = perm_upper, m + pick - per_order
+    chosen = perm.tolist()
+    return (
+        [entries[i] for i in chosen[:k]],
+        [entries[i] for i in chosen[k:]],
+    )
+
+
+def rstar_split(
+    entries: list[Entry],
+    min_fill_fraction: float = 0.4,
+    rects: np.ndarray | None = None,
+) -> SplitResult:
+    """Split an overflowing entry list into two groups per [BKSS90].
+
+    Parameters
+    ----------
+    entries:
+        At least two entries.
+    min_fill_fraction:
+        Fraction of the entries that must land in each group (the
+        R*-tree recommends 40 %).
+    rects:
+        Optional ``(n, 4)`` float64 matrix of the entry rectangles (the
+        node's cached :meth:`~repro.rtree.node.Node.rect_matrix`);
+        built on the spot when absent.
+
+    Returns
+    -------
+    Two non-empty entry lists whose union is the input.
+    """
+    n = len(entries)
+    if n < 2:
+        raise TreeError(f"cannot split a node with {n} entries")
+    m = max(1, min(int(min_fill_fraction * n), n // 2))
+    if not kernels.vectorized():
+        return _rstar_split_scalar(entries, m)
+    if rects is None or len(rects) != n:
+        rects = np.array(
+            [(e.rect.xmin, e.rect.ymin, e.rect.xmax, e.rect.ymax) for e in entries],
+            dtype=np.float64,
+        ).reshape(n, 4)
+    return _rstar_split_vector(entries, m, rects)

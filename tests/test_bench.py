@@ -1,0 +1,89 @@
+"""Smoke tests of the wall-clock bench harness and the --profile flag."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import calibrate, main as bench_main, run_bench
+
+
+def test_calibration_is_positive():
+    assert calibrate(repeat=1) > 0.0
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    return run_bench(
+        scale=0.005,
+        queries=10,
+        repeat=1,
+        only=["window_batch", "point_batch", "join"],
+    )
+
+
+def test_run_bench_document_shape(tiny_doc):
+    assert tiny_doc["name"] == "query_kernels"
+    assert tiny_doc["machine"]["calibration_s"] > 0
+    assert set(tiny_doc["scenarios"]) == {"window_batch", "point_batch", "join"}
+    for stats in tiny_doc["scenarios"].values():
+        assert stats["vectorized_s"] > 0
+        assert stats["scalar_s"] > 0
+        assert stats["speedup"] == pytest.approx(
+            stats["scalar_s"] / stats["vectorized_s"]
+        )
+        assert stats["vectorized_norm"] == pytest.approx(
+            stats["vectorized_s"] / tiny_doc["machine"]["calibration_s"]
+        )
+
+
+def test_unknown_scenario_rejected_before_building():
+    with pytest.raises(ValueError, match="windowbatch"):
+        run_bench(only=["windowbatch"])
+
+
+def test_cli_rejects_unknown_scenario(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        bench_main(
+            ["--only", "nope", "--output", str(tmp_path / "x.json")]
+        )
+    assert "unknown bench scenarios" in capsys.readouterr().err
+    assert not (tmp_path / "x.json").exists()
+
+
+def test_bench_cli_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    code = bench_main(
+        [
+            "--scale", "0.005",
+            "--queries", "8",
+            "--repeat", "1",
+            "--only", "window_batch",
+            "--output", str(out),
+        ]
+    )
+    assert code == 0
+    doc = json.loads(out.read_text())
+    assert "window_batch" in doc["scenarios"]
+    captured = capsys.readouterr().out
+    assert "query-kernel wall clock" in captured
+
+
+def test_workload_profile_flag(capsys):
+    from repro.eval.__main__ import main
+
+    code = main(
+        [
+            "workload",
+            "--scale", "0.005",
+            "--queries", "4",
+            "--policies", "lru",
+            "--no-join",
+            "--profile",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "cProfile top 15 by cumulative time" in captured
+    assert "cumtime" in captured

@@ -1,0 +1,384 @@
+"""Scalar/vectorized kernel equivalence (see repro.core.kernels).
+
+The vectorized kernels must be *bit-identical* to the scalar fallback —
+same result sets, same orders — because the I/O pricing (the committed
+figure oracles) depends on tree shapes and visit orders.  These tests
+pin that contract on seeded trees and crafted edge cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.hilbert import (
+    hilbert_index,
+    hilbert_indices,
+    keys,
+    point_key,
+    sort_by_hilbert,
+)
+from repro.geometry.intersect import mbr_intersect_mask
+from repro.geometry.polyline import Polyline
+from repro.geometry.rect import Rect
+from repro.join.mbr_join import (
+    _intersecting_pairs,
+    _intersecting_pairs_scalar,
+)
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.rstar import RStarTree
+from repro.rtree.split import rstar_split
+
+
+def random_rect(rng: random.Random, span: float = 100.0) -> Rect:
+    x = rng.uniform(0, span)
+    y = rng.uniform(0, span)
+    return Rect(x, y, x + rng.uniform(0, span / 10), y + rng.uniform(0, span / 10))
+
+
+@pytest.fixture()
+def seeded_tree() -> tuple[RStarTree, list[Rect]]:
+    rng = random.Random(42)
+    tree = RStarTree(max_entries=16)
+    rects = [random_rect(rng) for _ in range(600)]
+    for oid, rect in enumerate(rects):
+        tree.insert(oid, rect)
+    return tree, rects
+
+
+class TestQueryOrderEquivalence:
+    """Satellite: vectorized masks return entries in the exact legacy
+    (stack-DFS) order."""
+
+    def test_window_query_scalar_vs_vectorized(self, seeded_tree):
+        tree, _ = seeded_tree
+        rng = random.Random(7)
+        for _ in range(25):
+            window = random_rect(rng, span=80.0).grown(rng.uniform(0, 10))
+            vectorized = tree.window_query(window)
+            with kernels.scalar_kernels():
+                scalar = tree.window_query(window)
+            assert vectorized == scalar  # same entries, same order
+
+    def test_point_query_scalar_vs_vectorized(self, seeded_tree):
+        tree, rects = seeded_tree
+        rng = random.Random(8)
+        for _ in range(25):
+            base = rects[rng.randrange(len(rects))]
+            x, y = base.center()
+            vectorized = tree.point_query(x, y)
+            with kernels.scalar_kernels():
+                scalar = tree.point_query(x, y)
+            assert vectorized == scalar
+
+    def test_window_leaves_and_matching_leaves(self, seeded_tree):
+        tree, _ = seeded_tree
+        rng = random.Random(9)
+        for _ in range(15):
+            window = random_rect(rng, span=80.0).grown(5.0)
+            vector_groups = tree.window_leaves(window)
+            vector_leaves = tree.matching_leaves(window)
+            with kernels.scalar_kernels():
+                scalar_groups = tree.window_leaves(window)
+                scalar_leaves = tree.matching_leaves(window)
+            assert [
+                (node.node_id, matches) for node, matches in vector_groups
+            ] == [(node.node_id, matches) for node, matches in scalar_groups]
+            assert [n.node_id for n in vector_leaves] == [
+                n.node_id for n in scalar_leaves
+            ]
+
+    def test_batch_queries_match_single_queries(self, seeded_tree):
+        tree, rects = seeded_tree
+        rng = random.Random(10)
+        windows = [random_rect(rng, span=80.0).grown(3.0) for _ in range(30)]
+        points = [rects[rng.randrange(len(rects))].center() for _ in range(30)]
+        batch = tree.window_query_batch(windows)
+        assert batch == [tree.window_query(w) for w in windows]
+        with kernels.scalar_kernels():
+            assert batch == [tree.window_query(w) for w in windows]
+        point_batch = tree.point_query_batch(points)
+        assert point_batch == [tree.point_query(x, y) for x, y in points]
+
+    def test_batch_query_pricing_matches_per_query_read_count(self):
+        from repro.disk.allocator import PageAllocator
+        from repro.disk.model import DiskModel
+        from repro.rtree.pager import NodePager
+
+        def build(disk):
+            pager = NodePager(
+                disk, PageAllocator().region("t"), directory_resident=True
+            )
+            tree = RStarTree(max_entries=8, pager=pager)
+            rng = random.Random(3)
+            for oid in range(200):
+                tree.insert(oid, random_rect(rng))
+            pager.flush()
+            return tree, disk
+
+        rng = random.Random(4)
+        windows = [random_rect(rng, span=80.0).grown(4.0) for _ in range(10)]
+
+        tree_a, disk_a = build(DiskModel())
+        before_a = disk_a.stats()
+        tree_a.window_query_batch(windows)
+        batch = disk_a.stats() - before_a
+
+        tree_b, disk_b = build(DiskModel())
+        before_b = disk_b.stats()
+        for w in windows:
+            tree_b.window_query(w)
+        single = disk_b.stats() - before_b
+        # Same read multiset -> same request and page counts (seek
+        # timing may differ with the interleaved order).
+        assert batch.requests == single.requests
+        assert batch.pages_transferred == single.pages_transferred
+
+
+class TestIntersectingPairsOrder:
+    """Satellite: the join's pair order is pinned — stable sort on
+    max(xmin, xmin), row-major within ties — and the whole-node MBR
+    pretest returns early on disjoint nodes."""
+
+    @staticmethod
+    def _leaf(rects: list[Rect], node_id: int = 0) -> Node:
+        return Node(
+            node_id, 0, [Entry(r, oid=i) for i, r in enumerate(rects)]
+        )
+
+    def test_pair_order_pinned_with_ties(self):
+        # All four pairs share identical xmin keys -> ties must keep
+        # row-major (i, j) candidate order.
+        nr = self._leaf([Rect(0, 0, 2, 2), Rect(0, 5, 2, 7)])
+        ns = self._leaf([Rect(0, 1, 2, 6), Rect(0, 0, 2, 8)], node_id=1)
+        expected = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert _intersecting_pairs(nr, ns) == expected
+        assert _intersecting_pairs_scalar(nr, ns) == expected
+
+    def test_pair_order_sorted_by_max_xmin(self):
+        nr = self._leaf([Rect(4, 0, 9, 9), Rect(0, 0, 5, 9)])
+        ns = self._leaf([Rect(2, 0, 6, 9), Rect(0, 0, 1, 9)], node_id=1)
+        pairs = _intersecting_pairs(nr, ns)
+        # keys: (0,0)->4, (1,0)->2, (1,1)->0; (0,1) disjoint (4 > 1)
+        assert pairs == [(1, 1), (1, 0), (0, 0)]
+        assert _intersecting_pairs_scalar(nr, ns) == pairs
+
+    def test_scalar_and_vector_agree_on_random_nodes(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            nr = self._leaf([random_rect(rng) for _ in range(17)])
+            ns = self._leaf([random_rect(rng) for _ in range(23)], node_id=1)
+            assert _intersecting_pairs(nr, ns) == _intersecting_pairs_scalar(
+                nr, ns
+            )
+
+    def test_disjoint_nodes_return_early(self):
+        nr = self._leaf([Rect(0, 0, 1, 1), Rect(1, 1, 2, 2)])
+        ns = self._leaf([Rect(10, 10, 11, 11)], node_id=1)
+        assert _intersecting_pairs(nr, ns) == []
+
+    def test_empty_nodes(self):
+        nr = self._leaf([])
+        ns = self._leaf([Rect(0, 0, 1, 1)], node_id=1)
+        assert _intersecting_pairs(nr, ns) == []
+        assert _intersecting_pairs(ns, nr) == []
+
+
+class TestSplitEquivalence:
+    def test_split_scalar_vs_vectorized(self):
+        rng = random.Random(12)
+        for n in (2, 3, 5, 16, 60, 89, 120):
+            entries = [
+                Entry(random_rect(rng), oid=i) for i in range(n)
+            ]
+            g1, g2 = rstar_split(entries)
+            with kernels.scalar_kernels():
+                s1, s2 = rstar_split(entries)
+            assert [e.oid for e in g1] == [e.oid for e in s1]
+            assert [e.oid for e in g2] == [e.oid for e in s2]
+
+    def test_split_with_degenerate_ties(self):
+        # Identical rectangles: every distribution ties; both paths must
+        # pick the same (first) one.
+        entries = [Entry(Rect(0, 0, 1, 1), oid=i) for i in range(10)]
+        g1, g2 = rstar_split(entries)
+        with kernels.scalar_kernels():
+            s1, s2 = rstar_split(entries)
+        assert [e.oid for e in g1] == [e.oid for e in s1]
+        assert [e.oid for e in g2] == [e.oid for e in s2]
+
+    def test_identical_trees_both_modes(self):
+        rng = random.Random(13)
+        rects = [random_rect(rng) for _ in range(400)]
+        vector_tree = RStarTree(max_entries=8)
+        for oid, rect in enumerate(rects):
+            vector_tree.insert(oid, rect)
+        with kernels.scalar_kernels():
+            scalar_tree = RStarTree(max_entries=8)
+            for oid, rect in enumerate(rects):
+                scalar_tree.insert(oid, rect)
+
+        def shape(tree):
+            return [
+                (node.level, [e.oid for e in node.entries if e.is_data],
+                 node.mbr().as_tuple())
+                for node in tree.nodes()
+            ]
+
+        assert shape(vector_tree) == shape(scalar_tree)
+
+
+class TestHilbertKernels:
+    def test_hilbert_indices_match_scalar(self):
+        rng = random.Random(14)
+        for order in (1, 4, 8, 16):
+            side = 1 << order
+            gx = np.array([rng.randrange(side) for _ in range(200)])
+            gy = np.array([rng.randrange(side) for _ in range(200)])
+            batched = hilbert_indices(gx, gy, order)
+            for x, y, d in zip(gx.tolist(), gy.tolist(), batched.tolist()):
+                assert d == hilbert_index(x, y, order)
+
+    def test_keys_match_point_key(self):
+        rng = random.Random(15)
+        pts = np.array(
+            [(rng.uniform(-1, 101), rng.uniform(-1, 101)) for _ in range(100)]
+        )
+        batched = keys(pts, data_space=100.0)
+        for (x, y), k in zip(pts.tolist(), batched.tolist()):
+            assert k == point_key(x, y, 100.0)
+
+    def test_sort_by_hilbert_identical_both_modes(self):
+        from repro.geometry.feature import SpatialObject
+
+        rng = random.Random(16)
+        objects = []
+        for oid in range(150):
+            x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+            objects.append(
+                SpatialObject(
+                    oid, Polyline([(x, y), (x + rng.uniform(0.1, 5), y + 1)])
+                )
+            )
+        vector_order = [o.oid for o in sort_by_hilbert(objects, 100.0)]
+        with kernels.scalar_kernels():
+            scalar_order = [o.oid for o in sort_by_hilbert(objects, 100.0)]
+        assert vector_order == scalar_order
+
+    def test_out_of_grid_cells_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            hilbert_indices(np.array([16]), np.array([0]), 4)
+
+
+class TestRefinementKernels:
+    def test_mbr_intersect_mask_matches_rect(self):
+        rng = random.Random(17)
+        rect_pairs = [(random_rect(rng), random_rect(rng)) for _ in range(300)]
+        a = np.array([r.as_tuple() for r, _ in rect_pairs])
+        b = np.array([s.as_tuple() for _, s in rect_pairs])
+        mask = mbr_intersect_mask(a, b)
+        for (r, s), hit in zip(rect_pairs, mask.tolist()):
+            assert hit == r.intersects(s)
+
+    def test_polyline_predicates_scalar_vs_vectorized(self):
+        rng = random.Random(18)
+
+        def random_line(n):
+            x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+            pts = [(x, y)]
+            for _ in range(n - 1):
+                x += rng.uniform(-3, 3)
+                y += rng.uniform(-3, 3)
+                pts.append((x, y))
+            return Polyline(pts)
+
+        # Straddle the vector-kernel thresholds (64 vertices for rect
+        # tests, 128 segment-pair cells for line/line).
+        lines = [random_line(rng.randrange(2, 90)) for _ in range(40)]
+        rects = [random_rect(rng, span=50.0) for _ in range(20)]
+        for line in lines:
+            other = lines[rng.randrange(len(lines))]
+            vector_ll = line.intersects(other)
+            vector_rects = [line.intersects_rect(r) for r in rects]
+            with kernels.scalar_kernels():
+                assert line.intersects(other) == vector_ll
+                assert [line.intersects_rect(r) for r in rects] == vector_rects
+
+    def test_polyline_eps_boundary_case(self):
+        # A polyline a hair outside the rectangle (long enough for the
+        # vector kernel): the per-segment MBR pretest must reject every
+        # segment in both modes (the eps-tolerant edge tests alone
+        # would accept them).
+        x = 2.0 + 1e-13
+        line = Polyline([(x, i / 100.0) for i in range(80)])
+        rect = Rect(0.0, 0.0, 2.0, 1.0)
+        vectorized = line.intersects_rect(rect)
+        assert vectorized is False
+        with kernels.scalar_kernels():
+            assert line.intersects_rect(rect) == vectorized
+
+    def test_join_result_pairs_identical_both_modes(self):
+        from repro.disk.model import DiskModel
+        from repro.join.multistep import spatial_join
+        from repro.storage.secondary import SecondaryOrganization
+        from repro.geometry.feature import SpatialObject
+        from repro.disk.allocator import PageAllocator
+
+        rng = random.Random(19)
+
+        def make_objects(offset):
+            objects = []
+            for i in range(80):
+                x, y = rng.uniform(0, 40), rng.uniform(0, 40)
+                objects.append(
+                    SpatialObject(
+                        offset + i,
+                        Polyline(
+                            [
+                                (x, y),
+                                (x + rng.uniform(0.5, 4), y + rng.uniform(0.5, 4)),
+                                (x + rng.uniform(0.5, 6), y),
+                            ]
+                        ),
+                    )
+                )
+            return objects
+
+        disk = DiskModel()
+        allocator = PageAllocator()
+        org_r = SecondaryOrganization(
+            disk=disk, allocator=allocator, region_prefix="r"
+        )
+        org_s = SecondaryOrganization(
+            disk=disk, allocator=allocator, region_prefix="s"
+        )
+        org_r.build(make_objects(0))
+        org_s.build(make_objects(1000))
+        vector_result = spatial_join(
+            org_r, org_s, buffer_pages=64, evaluate_exact=True
+        )
+        with kernels.scalar_kernels():
+            scalar_result = spatial_join(
+                org_r, org_s, buffer_pages=64, evaluate_exact=True
+            )
+        assert vector_result.result_pairs == scalar_result.result_pairs
+        assert vector_result.candidate_pairs == scalar_result.candidate_pairs
+        assert vector_result.io_ms == scalar_result.io_ms
+
+
+class TestKernelSwitch:
+    def test_context_manager_restores(self):
+        # Mode-agnostic: the suite may run under REPRO_SCALAR_KERNELS=1.
+        initial = kernels.vectorized()
+        with kernels.scalar_kernels():
+            assert not kernels.vectorized()
+            with kernels.scalar_kernels(False):
+                assert kernels.vectorized()
+            assert not kernels.vectorized()
+        assert kernels.vectorized() == initial

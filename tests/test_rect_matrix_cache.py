@@ -1,0 +1,123 @@
+"""Cache coherence of Node.rect_matrix / query_matrix / mbr.
+
+Satellite of the vectorized-kernels PR: property-style tests drive a
+tree through inserts, deletes, splits, forced reinserts and
+condensation, asserting after every mutation that each node's cached
+matrices and MBR match freshly computed ones.  A stale cache here
+would silently corrupt query results and the bit-identical pricing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.rtree.node import Node
+from repro.rtree.entry import Entry
+from repro.rtree.rstar import RStarTree
+
+
+def fresh_matrix(node: Node) -> np.ndarray:
+    return np.array(
+        [(e.rect.xmin, e.rect.ymin, e.rect.xmax, e.rect.ymax)
+         for e in node.entries],
+        dtype=np.float64,
+    ).reshape(len(node.entries), 4)
+
+
+def assert_caches_coherent(tree: RStarTree) -> None:
+    for node in tree.nodes():
+        cached = node.rect_matrix()
+        expected = fresh_matrix(node)
+        assert cached.shape == expected.shape
+        assert (cached == expected).all(), (
+            f"stale rect matrix on node#{node.node_id}"
+        )
+        qm = node.query_matrix()
+        assert (qm[:, :2] == expected[:, :2]).all()
+        assert (qm[:, 2:] == -expected[:, 2:]).all(), (
+            f"stale query matrix on node#{node.node_id}"
+        )
+        if node.entries:
+            assert node.mbr() == Rect.union_of(e.rect for e in node.entries), (
+                f"stale MBR on node#{node.node_id}"
+            )
+        # Directory invariant while we're here: every entry rect equals
+        # its child's MBR after any sequence of mutations.
+        if not node.is_leaf:
+            for entry in node.entries:
+                assert entry.rect == entry.child.mbr()
+
+
+def random_rect(rng: random.Random) -> Rect:
+    x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+    return Rect(x, y, x + rng.uniform(0, 8), y + rng.uniform(0, 8))
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("leaf_reinsert", [True, False])
+def test_caches_survive_insert_delete_split_reinsert(seed, leaf_reinsert):
+    """Random mutation walk: small fan-out forces frequent splits and
+    (with leaf_reinsert) forced reinserts; deletes trigger condensation
+    and root shrinking.  Caches are checked after every operation."""
+    rng = random.Random(seed)
+    tree = RStarTree(max_entries=6, leaf_reinsert=leaf_reinsert)
+    live: dict[int, Rect] = {}
+    next_oid = 0
+    for step in range(300):
+        if live and rng.random() < 0.35:
+            oid = rng.choice(sorted(live))
+            tree.delete(oid, live.pop(oid))
+        else:
+            rect = random_rect(rng)
+            tree.insert(next_oid, rect)
+            live[next_oid] = rect
+            next_oid += 1
+        if step % 10 == 0:
+            assert_caches_coherent(tree)
+    assert_caches_coherent(tree)
+    assert len(tree) == len(live)
+
+
+def test_caches_after_bulk_build_and_drain():
+    rng = random.Random(99)
+    tree = RStarTree(max_entries=8)
+    rects = {oid: random_rect(rng) for oid in range(250)}
+    for oid, rect in rects.items():
+        tree.insert(oid, rect)
+    assert_caches_coherent(tree)
+    # Drain to (almost) nothing: exercises condensation heavily.
+    for oid in list(rects)[:-5]:
+        tree.delete(oid, rects.pop(oid))
+    assert_caches_coherent(tree)
+    assert len(tree) == 5
+
+
+def test_direct_mutation_with_invalidate():
+    node = Node(0, 0, [Entry(Rect(0, 0, 1, 1), oid=0)])
+    first = node.rect_matrix()
+    assert first.shape == (1, 4)
+    assert node.mbr() == Rect(0, 0, 1, 1)
+    node.add(Entry(Rect(2, 2, 3, 3), oid=1))
+    assert node.rect_matrix().shape == (2, 4)
+    assert node.mbr() == Rect(0, 0, 3, 3)
+    node.remove(node.entries[0])
+    assert node.rect_matrix().shape == (1, 4)
+    assert (node.rect_matrix()[0] == (2.0, 2.0, 3.0, 3.0)).all()
+    assert node.mbr() == Rect(2, 2, 3, 3)
+
+
+def test_patch_rect_updates_row_and_drops_mbr():
+    entries = [Entry(Rect(0, 0, 1, 1), oid=0), Entry(Rect(4, 4, 5, 5), oid=1)]
+    node = Node(0, 0, entries)
+    node.rect_matrix()
+    node.query_matrix()
+    assert node.mbr() == Rect(0, 0, 5, 5)
+    entries[1].rect = Rect(4, 4, 9, 9)
+    node.patch_rect(1, entries[1].rect)
+    assert (node.rect_matrix()[1] == (4.0, 4.0, 9.0, 9.0)).all()
+    assert (node.query_matrix()[1] == (4.0, 4.0, -9.0, -9.0)).all()
+    assert node.mbr() == Rect(0, 0, 9, 9)
