@@ -44,20 +44,26 @@ from repro.errors import (
 )
 from repro.geometry import Polygon, Polyline, Rect, SpatialObject
 from repro.iosched import (
+    ADMISSIONS,
     PREFETCHERS,
     SCHEDULERS,
     AccessPlan,
+    AdmissionPolicy,
     IOScheduler,
     OverlapScheduler,
     Prefetcher,
+    PriorityAdmission,
     SyncScheduler,
+    TokenBucketAdmission,
     VirtualClock,
 )
 from repro.join import JoinResult, spatial_join
 from repro.pagestore import (
+    MIGRATIONS,
     PLACEMENTS,
     PageStore,
     ShardedPageStore,
+    TieredPageStore,
     VectoredCost,
 )
 from repro.rtree import RStarTree
@@ -107,12 +113,18 @@ __all__ = [
     "OverlapScheduler",
     "VirtualClock",
     "Prefetcher",
+    "AdmissionPolicy",
+    "TokenBucketAdmission",
+    "PriorityAdmission",
     "SCHEDULERS",
     "PREFETCHERS",
+    "ADMISSIONS",
     "PageStore",
     "ShardedPageStore",
+    "TieredPageStore",
     "VectoredCost",
     "PLACEMENTS",
+    "MIGRATIONS",
     "DiskModel",
     "DiskParameters",
     "DiskStats",

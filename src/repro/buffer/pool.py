@@ -86,9 +86,15 @@ class BufferPool:
         instance) consulted after every submitted plan.  ``None`` /
         ``"none"`` disables read-ahead; pass-through pools never
         prefetch (there are no frames to keep pages in).
+    allocator:
+        Optional :class:`~repro.disk.allocator.PageAllocator` that owns
+        the page address space.  When given, prefetch suggestions are
+        clamped to the allocator's high-water marks: pages never handed
+        out are not read ahead (a speculative transfer of unallocated
+        storage would inflate device time with phantom pages).
     """
 
-    __slots__ = ("disk", "frames", "hits", "misses", "scheduler", "prefetcher")
+    __slots__ = ("disk", "frames", "hits", "misses", "scheduler", "prefetcher", "allocator")
 
     def __init__(
         self,
@@ -98,12 +104,14 @@ class BufferPool:
         store: ReplacementPolicy | None = None,
         scheduler: "IOScheduler | str | None" = None,
         prefetcher: "Prefetcher | str | None" = None,
+        allocator=None,
     ):
         if capacity < 0:
             raise ConfigurationError(f"pool capacity must be >= 0, got {capacity}")
         self.disk = disk
         self.scheduler = make_scheduler(scheduler)
         self.prefetcher = make_prefetcher(prefetcher)
+        self.allocator = allocator
         if store is not None:
             self.frames: ReplacementPolicy | None = store
         elif capacity > 0:
@@ -208,7 +216,9 @@ class BufferPool:
         priced sum of the plan's requests — exactly what the equivalent
         imperative call chain would have returned; under ``overlap`` it
         is the client-observed response time on the virtual clock.
-        After a plan that transferred anything, the pool's prefetcher
+        After a plan that transferred anything (an executed span with
+        cost > 0 — a plan fully absorbed by resident frames read
+        nothing and triggers no read-ahead), the pool's prefetcher
         (if any) may read ahead with a non-blocking follow-up plan.
         """
         cost = self.scheduler.execute(plan, self)
@@ -216,7 +226,7 @@ class BufferPool:
             self.prefetcher is not None
             and self.frames is not None
             and not plan.prefetch
-            and plan.executed
+            and plan.transferred
         ):
             self._prefetch_after(plan)
         return cost
@@ -224,7 +234,10 @@ class BufferPool:
     def _prefetch_after(self, plan: AccessPlan) -> None:
         """Load the prefetcher's suggested runs (missing pages only)
         with a non-blocking plan: no hit/miss accounting, no client
-        wait under the overlap scheduler."""
+        wait under the overlap scheduler.  Suggestions are clamped to
+        the allocator's high-water marks when the pool knows its
+        allocator — read-ahead must never transfer pages that were
+        never allocated."""
         assert self.prefetcher is not None and self.frames is not None
         suggestions = self.prefetcher.suggest(plan)
         if not suggestions:
@@ -234,7 +247,12 @@ class BufferPool:
                 page
                 for start, npages in suggestions
                 for page in range(start, start + npages)
-                if page >= 0 and page not in self.frames
+                if page >= 0
+                and page not in self.frames
+                and (
+                    self.allocator is None
+                    or self.allocator.in_allocated_space(page)
+                )
             }
         )
         if not missing:

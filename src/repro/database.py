@@ -21,11 +21,17 @@ from repro.errors import ConfigurationError, ObjectTooLargeError
 from repro.geometry.feature import SpatialObject
 from repro.geometry.polyline import Polyline
 from repro.geometry.rect import Rect
+from repro.iosched.admission import admission_name, make_admission
 from repro.iosched.prefetch import make_prefetcher, prefetcher_name
-from repro.iosched.scheduler import make_scheduler, scheduler_name
+from repro.iosched.scheduler import (
+    OverlapScheduler,
+    make_scheduler,
+    scheduler_name,
+)
 from repro.join.multistep import JoinResult, spatial_join
 from repro.pagestore.placement import make_placement
 from repro.pagestore.store import PageStore, ShardedPageStore
+from repro.pagestore.tiered import TieredPageStore
 from repro.rtree.stats import TreeStats, tree_stats
 from repro.storage.base import QueryResult, SpatialOrganization
 from repro.storage.primary import PrimaryOrganization
@@ -86,6 +92,28 @@ class SpatialDatabase:
         :mod:`repro.iosched.prefetch`).  Prefetching needs a caching
         pool; the organizations' pass-through measurement pools skip
         it, the workload/sessions pools use it.
+    admission:
+        Admission-control policy shaping when client operations
+        dispatch on the virtual clock: ``None``/``"none"`` (default),
+        ``"token-bucket"`` or ``"priority"`` (see
+        :mod:`repro.iosched.admission`), or a ready
+        :class:`~repro.iosched.admission.AdmissionPolicy`.  Needs
+        ``scheduler="overlap"`` — admission delays live on the virtual
+        clock.  :meth:`run_sessions` can also set a policy per run.
+    tiering:
+        Tiered storage behind the buffer pool: ``None`` (default — the
+        paper's single disk, bit-identical pricing), a migration-policy
+        name (``"static"`` / ``"promote-on-hit"`` / ``"lru-demote"``)
+        building a :class:`~repro.pagestore.tiered.TieredPageStore`
+        with ``fast_pages`` / ``fast_params``, or a ready store.
+        Mutually exclusive with ``n_disks > 1``.
+    fast_pages:
+        Fast-tier budget in pages when ``tiering`` names a policy
+        (default 1024).
+    fast_params:
+        Fast-tier :class:`~repro.disk.params.DiskParameters` (default:
+        the 2 / 1 / 0.25 ms device of
+        :data:`~repro.pagestore.tiered.FAST_TIER_PARAMS`).
     max_object_bytes:
         Optional hard limit on the exact-representation size of inserted
         objects; :class:`~repro.errors.ObjectTooLargeError` is raised
@@ -118,6 +146,10 @@ class SpatialDatabase:
         chunk_pages: int | None = None,
         scheduler="sync",
         prefetch=None,
+        admission=None,
+        tiering=None,
+        fast_pages: int = 1024,
+        fast_params=None,
         page_size: int = PAGE_SIZE,
         max_entries: int = PAGE_CAPACITY,
         construction_buffer_pages: int = 256,
@@ -130,8 +162,27 @@ class SpatialDatabase:
             raise ConfigurationError("max_object_bytes must be positive")
         if n_disks < 1:
             raise ConfigurationError(f"need at least one disk, got {n_disks}")
+        if tiering is not None and n_disks > 1:
+            raise ConfigurationError(
+                "tiering and n_disks > 1 are mutually exclusive — a tier "
+                "is a placement decision over two devices, not a shard"
+            )
         if _disk is not None:
+            if tiering is not None:
+                raise ConfigurationError(
+                    "tiering cannot be combined with an attached disk; "
+                    "configure it on the owning database"
+                )
             self.disk = _disk
+        elif isinstance(tiering, TieredPageStore):
+            self.disk = tiering
+        elif tiering is not None:
+            self.disk = TieredPageStore(
+                fast_pages,
+                migration=tiering,
+                fast_params=fast_params,
+                params=disk_params,
+            )
         elif n_disks > 1:
             self.disk = ShardedPageStore(
                 n_disks,
@@ -152,6 +203,14 @@ class SpatialDatabase:
         self.name = name
         self.scheduler = make_scheduler(scheduler)
         self.prefetcher = make_prefetcher(prefetch)
+        admission_policy = make_admission(admission)
+        if admission_policy is not None:
+            if not isinstance(self.scheduler, OverlapScheduler):
+                raise ConfigurationError(
+                    "admission control needs scheduler='overlap' — "
+                    "admission delays live on the virtual clock"
+                )
+            self.scheduler.admission = admission_policy
         common = dict(
             disk=self.disk,
             allocator=self.allocator,
@@ -296,6 +355,7 @@ class SpatialDatabase:
         sessions,
         buffer_pages: int = 1600,
         policy: str = "lru",
+        admission=None,
     ):
         """Execute several client operation streams as interleaved
         concurrent sessions over one shared buffer pool.
@@ -307,13 +367,18 @@ class SpatialDatabase:
         a declustered store overlaps their I/O and the report's
         ``makespan_ms`` drops below the serial response time; under
         the default ``sync`` scheduler the same stream executes
-        serially.  Returns a
-        :class:`~repro.workload.engine.SessionsReport`.
+        serially.  ``admission`` applies an admission-control policy
+        for this run only (name, instance, or ``None`` to keep the
+        scheduler's own policy); the report's per-client table carries
+        each session's queueing delay and latency percentiles.
+        Returns a :class:`~repro.workload.engine.SessionsReport`.
         """
         from repro.workload.engine import WorkloadEngine
 
         pool = self._workload_pool(buffer_pages, policy)
-        return WorkloadEngine(self.storage, pool).run_sessions(sessions)
+        return WorkloadEngine(self.storage, pool).run_sessions(
+            sessions, admission=admission
+        )
 
     def _workload_pool(self, buffer_pages: int, policy: str) -> BufferPool:
         """A caching pool on this database's disk, scheduler and
@@ -324,6 +389,7 @@ class SpatialDatabase:
             policy=policy,
             scheduler=self.scheduler,
             prefetcher=self.prefetcher,
+            allocator=self.allocator,
         )
 
     def attach(self, name: str, **kwargs) -> "SpatialDatabase":
@@ -366,6 +432,20 @@ class SpatialDatabase:
     def prefetch_policy(self) -> str:
         """Name of the prefetch policy ('none' when disabled)."""
         return prefetcher_name(self.prefetcher)
+
+    @property
+    def admission_policy(self) -> str:
+        """Name of the scheduler's admission policy ('none' when
+        disabled or under the sync scheduler)."""
+        return admission_name(getattr(self.scheduler, "admission", None))
+
+    @property
+    def tiering(self) -> str:
+        """Migration policy of the tiered page store ('none' on a
+        flat single- or multi-disk store)."""
+        if isinstance(self.disk, TieredPageStore):
+            return self.disk.migration
+        return "none"
 
     def occupied_pages(self) -> int:
         return self.storage.occupied_pages()

@@ -109,6 +109,23 @@ class PageAllocator:
         """A shallow copy of the region table (for reporting)."""
         return dict(self._regions)
 
+    def high_water_limit(self, page: int) -> int | None:
+        """End of the ever-allocated space of the region containing
+        ``page`` (its base plus bump pointer), or ``None`` when the page
+        lies in no region.  Pages at or beyond the limit were never
+        handed out — a speculative read of them would transfer storage
+        that does not exist."""
+        for region in self._regions.values():
+            if region.base <= page < region.base + region.capacity:
+                return region.base + region.high_water_pages
+        return None
+
+    def in_allocated_space(self, page: int) -> bool:
+        """Whether ``page`` lies below its region's high-water mark
+        (the prefetch clamp: only such pages may be read ahead)."""
+        limit = self.high_water_limit(page)
+        return limit is not None and page < limit
+
     @property
     def total_allocated_pages(self) -> int:
         return sum(r.allocated_pages for r in self._regions.values())

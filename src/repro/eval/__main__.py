@@ -6,6 +6,8 @@
     python -m repro.eval workload [--policies lru,clock] [--scale 0.02] [--profile]
     python -m repro.eval pagestore [--disks 1,2,4,8] [--placements spatial]
     python -m repro.eval iosched [--schedulers sync,overlap] [--prefetch none,cluster]
+                                 [--admission none,priority]
+    python -m repro.eval tiering [--migrations none,static,promote-on-hit,lru-demote]
     python -m repro.eval bench [--scale 0.02] [--repeat 5] [--output BENCH_query_kernels.json]
 
 The default mode regenerates every table and figure of the paper in
@@ -26,9 +28,15 @@ parallelism across disk counts and declustering placements.
 
 The ``iosched`` subcommand ablates the request-based I/O pipeline:
 two client sessions run interleaved over a declustered store under
-each (scheduler, prefetch) combination, reporting device time, summed
-client response, workload makespan and the speed-up of overlapped
-asynchronous service over the synchronous baseline.
+each (scheduler, prefetch, admission) combination, reporting device
+time, summed client response, per-client queueing delay and p95
+latency, workload makespan and the speed-up of overlapped asynchronous
+service over the synchronous baseline.
+
+The ``tiering`` subcommand ablates the tiered page store: a skewed
+window workload (most queries hammer a hot corner of the data space)
+runs over each migration policy of the fast-tier/capacity-tier store
+and reports device time, response time and the migration counters.
 
 The ``bench`` subcommand measures *wall-clock* CPU time of the
 vectorized query kernels against the ``REPRO_SCALAR_KERNELS``
@@ -265,6 +273,17 @@ def workload_main(argv: list[str]) -> int:
             )
         print()
         print(report.format())
+        print()
+        print(
+            format_table(
+                ("phase", "ops", "p50 ms", "p95 ms"),
+                [
+                    (p.kind, p.operations, p.p50_ms, p.p95_ms)
+                    for p in report.phases
+                ],
+                title="operation latency percentiles",
+            )
+        )
         summary.append((policy, report.hit_rate, report.total_io.total_ms))
 
     print()
@@ -399,11 +418,12 @@ def pagestore_main(argv: list[str]) -> int:
 
 def iosched_main(argv: list[str]) -> int:
     """The ``iosched`` subcommand: two interleaved client sessions over
-    a declustered store, ablated across I/O schedulers and prefetch
-    policies."""
+    a declustered store, ablated across I/O schedulers, prefetch
+    policies and admission-control policies."""
     from repro.data.tiger import generate_map
     from repro.database import SpatialDatabase
-    from repro.iosched import PREFETCHERS, SCHEDULERS
+    from repro.iosched import ADMISSIONS, PREFETCHERS, SCHEDULERS
+    from repro.iosched.admission import PriorityAdmission
     from repro.workload.streams import mixed_stream
 
     parser = argparse.ArgumentParser(
@@ -437,6 +457,12 @@ def iosched_main(argv: list[str]) -> int:
         help=f"comma-separated prefetch policies (valid: {', '.join(PREFETCHERS)})",
     )
     parser.add_argument(
+        "--admission", type=str, default="none",
+        help="comma-separated admission policies applied to the overlap "
+        f"scheduler (valid: {', '.join(ADMISSIONS)}; 'priority' marks "
+        "the beta client as the analytics class); ignored for sync",
+    )
+    parser.add_argument(
         "--buffer-pages", type=int, default=400,
         help="shared pool size in page frames (default 400)",
     )
@@ -454,6 +480,10 @@ def iosched_main(argv: list[str]) -> int:
     unknown = [p for p in prefetchers if p not in PREFETCHERS]
     if unknown:
         parser.error(f"unknown prefetch policies: {unknown}; valid: {PREFETCHERS}")
+    admissions = [a.strip() for a in args.admission.split(",") if a.strip()]
+    unknown = [a for a in admissions if a not in ADMISSIONS]
+    if unknown:
+        parser.error(f"unknown admission policies: {unknown}; valid: {ADMISSIONS}")
     if args.disks < 1:
         parser.error(f"--disks needs a positive disk count: {args.disks!r}")
 
@@ -485,41 +515,53 @@ def iosched_main(argv: list[str]) -> int:
     )
     measured = []
     for scheduler in schedulers:
+        # Admission shapes dispatch on the virtual clock: the sync
+        # scheduler has none, so only 'none' applies there.
+        applicable = admissions if scheduler == "overlap" else ["none"]
         for prefetch in prefetchers:
-            db = SpatialDatabase(
-                smax_bytes=spec.smax_bytes,
-                n_disks=args.disks,
-                placement=args.placement,
-                scheduler=scheduler,
-                prefetch=prefetch,
-            )
-            db.build(objects)
-            report = db.run_sessions(
-                client_streams(), buffer_pages=args.buffer_pages
-            )
-            measured.append((scheduler, prefetch, report))
+            for admission in applicable:
+                db = SpatialDatabase(
+                    smax_bytes=spec.smax_bytes,
+                    n_disks=args.disks,
+                    placement=args.placement,
+                    scheduler=scheduler,
+                    prefetch=prefetch,
+                )
+                db.build(objects)
+                policy = admission
+                if admission == "priority":
+                    policy = PriorityAdmission(classes={"beta": "analytics"})
+                report = db.run_sessions(
+                    client_streams(),
+                    buffer_pages=args.buffer_pages,
+                    admission=None if admission == "none" else policy,
+                )
+                measured.append((scheduler, prefetch, admission, report))
     # Speedups are relative to the synchronous un-prefetched baseline;
     # when that configuration was not requested, fall back to the first
     # one measured (then the column is only an internal comparison).
     baseline_ms = next(
         (
             r.makespan_ms
-            for s, p, r in measured
+            for s, p, a, r in measured
             if s == "sync" and p == "none"
         ),
-        measured[0][2].makespan_ms if measured else 0.0,
+        measured[0][3].makespan_ms if measured else 0.0,
     )
     rows = [
         (
             scheduler,
             prefetch,
+            admission,
             f"{report.hit_rate:.1%}",
             report.total_io.total_ms,
             report.total_response_ms,
+            sum(c.queueing_ms for c in report.clients),
+            max((c.p95_ms for c in report.clients), default=0.0),
             report.makespan_ms,
             baseline_ms / report.makespan_ms if report.makespan_ms else 1.0,
         )
-        for scheduler, prefetch, report in measured
+        for scheduler, prefetch, admission, report in measured
     ]
     print()
     print(
@@ -527,14 +569,139 @@ def iosched_main(argv: list[str]) -> int:
             (
                 "scheduler",
                 "prefetch",
+                "admission",
                 "hit rate",
                 "device ms",
                 "client response ms",
+                "queue ms",
+                "p95 ms",
                 "makespan ms",
                 "speedup",
             ),
             rows,
             title="interleaved client sessions over the I/O scheduler",
+        )
+    )
+    return 0
+
+
+def tiering_main(argv: list[str]) -> int:
+    """The ``tiering`` subcommand: a skewed window workload over the
+    tiered page store, ablated across migration policies."""
+    import random
+
+    from repro.data.tiger import generate_map
+    from repro.database import SpatialDatabase
+    from repro.pagestore import MIGRATIONS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval tiering",
+        description="Ablate the tiered page store: static vs "
+        "access-driven migration between a small fast tier and the "
+        "capacity tier, under a skewed window workload.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale in (0, 1] (default: REPRO_SCALE or 0.08)",
+    )
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument(
+        "--series", type=str, default="A-1", help="Table 1 series (default A-1)"
+    )
+    parser.add_argument(
+        "--migrations", type=str, default="none,static,promote-on-hit,lru-demote",
+        help="comma-separated migration policies ('none' = the flat "
+        f"single disk; valid: none, {', '.join(MIGRATIONS)})",
+    )
+    parser.add_argument(
+        "--fast-pages", type=int, default=256,
+        help="fast-tier budget in pages (default 256 — deliberately "
+        "smaller than the dataset, so placement matters)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=150,
+        help="window queries (default 150)",
+    )
+    parser.add_argument(
+        "--hot-fraction", type=float, default=0.9,
+        help="fraction of queries aimed at the hot corner (default 0.9)",
+    )
+    args = parser.parse_args(argv)
+
+    migrations = [m.strip() for m in args.migrations.split(",") if m.strip()]
+    unknown = [m for m in migrations if m != "none" and m not in MIGRATIONS]
+    if unknown:
+        parser.error(
+            f"unknown migrations: {unknown}; valid: none, {tuple(MIGRATIONS)}"
+        )
+    if not (0.0 <= args.hot_fraction <= 1.0):
+        parser.error(f"--hot-fraction must be in [0, 1]: {args.hot_fraction!r}")
+    if args.fast_pages < 1:
+        parser.error(f"--fast-pages must be >= 1: {args.fast_pages!r}")
+
+    if args.scale is not None:
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    else:
+        config = ExperimentConfig(seed=args.seed)
+    spec = config.spec(args.series)
+    objects = generate_map(spec, seed=config.seed)
+    bound = max(max(o.mbr.xmax for o in objects), max(o.mbr.ymax for o in objects))
+    rng = random.Random(config.seed + 23)
+    queries = []
+    for i in range(args.queries):
+        # Seeded draw: deterministic for a given seed, and exact for
+        # any hot fraction (a modulo pattern only works for n/(n+1)).
+        if rng.random() < args.hot_fraction:
+            x = rng.uniform(0.0, 0.18 * bound)
+            y = rng.uniform(0.0, 0.18 * bound)
+        else:
+            x = rng.uniform(0.0, 0.9 * bound)
+            y = rng.uniform(0.0, 0.9 * bound)
+        size = 0.08 * bound
+        queries.append((x, y, x + size, y + size))
+
+    print(
+        format_header(
+            f"tiered page store — {args.series} (scale={config.scale}), "
+            f"{len(queries)} windows ({args.hot_fraction:.0%} on the hot "
+            f"corner), {args.fast_pages}-page fast tier"
+        )
+    )
+    rows = []
+    for migration in migrations:
+        db = SpatialDatabase(
+            smax_bytes=spec.smax_bytes,
+            tiering=None if migration == "none" else migration,
+            fast_pages=args.fast_pages,
+        )
+        db.build(objects)
+        mark = db.disk.snapshot()
+        for window in queries:
+            db.window_query(*window)
+        cost = db.disk.cost_since(mark)
+        rows.append(
+            (
+                migration,
+                cost.total_ms,
+                cost.response_ms,
+                getattr(db.disk, "promotions", 0),
+                getattr(db.disk, "demotions", 0),
+                getattr(db.disk, "fast_resident", 0),
+            )
+        )
+    print()
+    print(
+        format_table(
+            (
+                "migration",
+                "device ms",
+                "response ms",
+                "promotions",
+                "demotions",
+                "fast pages",
+            ),
+            rows,
+            title="skewed window workload over the tiered store",
         )
     )
     return 0
@@ -549,6 +716,8 @@ def main(argv: list[str] | None = None) -> int:
         return pagestore_main(argv[1:])
     if argv and argv[0] == "iosched":
         return iosched_main(argv[1:])
+    if argv and argv[0] == "tiering":
+        return tiering_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench import main as bench_main
 

@@ -19,6 +19,15 @@ Layering (see README):
                 -> PageStore                        (DiskModel / sharded)
 """
 
+from repro.iosched.admission import (
+    ADMISSION_CLASSES,
+    ADMISSIONS,
+    AdmissionPolicy,
+    PriorityAdmission,
+    TokenBucketAdmission,
+    admission_name,
+    make_admission,
+)
 from repro.iosched.prefetch import (
     PREFETCHERS,
     ClusterPrefetcher,
@@ -56,4 +65,11 @@ __all__ = [
     "PREFETCHERS",
     "make_prefetcher",
     "prefetcher_name",
+    "AdmissionPolicy",
+    "TokenBucketAdmission",
+    "PriorityAdmission",
+    "ADMISSIONS",
+    "ADMISSION_CLASSES",
+    "make_admission",
+    "admission_name",
 ]

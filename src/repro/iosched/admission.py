@@ -1,0 +1,260 @@
+"""Admission control: delaying operation dispatch on the virtual clock.
+
+The :class:`~repro.iosched.scheduler.OverlapScheduler` knows every
+client's queueing delay — an :class:`AdmissionPolicy` uses that seam to
+*shape* when operations dispatch.  The scheduler consults the policy at
+the top of every :meth:`~repro.iosched.scheduler.OverlapScheduler.operation`
+scope: ``admit`` may push the operation's dispatch time later on the
+virtual clock, and ``observe`` feeds back the device time the admitted
+operation consumed.  Admission never changes *what* is priced — the
+device calls execute in the same order with the same costs — it only
+changes *when* the virtual clock services them, so device-time totals
+are bit-identical with and without admission.
+
+Three policies:
+
+* ``none`` — every operation dispatches at its client's current time
+  (the historical behaviour; ``make_admission(None)`` returns ``None``);
+* ``token-bucket`` — per-client budget on outstanding device time: each
+  client owns a bucket of ``burst_ms`` device-milliseconds refilled at
+  ``rate`` device-ms per virtual-ms; an operation's device time is
+  debited after it runs, and the next operation is delayed until the
+  bucket is non-negative again.  Limits how much device time any one
+  session can keep outstanding;
+* ``priority`` — two service classes.  ``interactive`` clients bypass
+  admission entirely; ``analytics`` clients run through a (stingier)
+  token bucket, so their bulk work is paced out across virtual time and
+  the gaps it leaves are back-filled by interactive operations — the
+  interactive latency percentiles drop at identical device time.
+
+Delay only helps because the
+:class:`~repro.iosched.scheduler.VirtualClock` is gap-aware: a request
+dispatched at an early time can start in an idle interval *before*
+work that was queued at a later time.  Without back-filling, delaying a
+bulk client would only push every queue end further out.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AdmissionPolicy",
+    "TokenBucketAdmission",
+    "PriorityAdmission",
+    "ADMISSIONS",
+    "ADMISSION_CLASSES",
+    "make_admission",
+    "admission_name",
+]
+
+ADMISSION_CLASSES = ("interactive", "analytics")
+"""Service classes understood by :class:`PriorityAdmission`."""
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Decides when a client operation may dispatch."""
+
+    name: str
+
+    def admit(self, client: str, at: float, clock) -> float:
+        """Earliest virtual time the operation may dispatch (>= ``at``)."""
+        ...
+
+    def observe(
+        self, client: str, dispatched_at: float, device_ms: float, completion: float
+    ) -> None:
+        """Feedback after the operation ran: the device time it consumed
+        (summed over all disks, prefetch included) and its completion."""
+        ...
+
+    def reset(self) -> None:
+        """Forget all per-client state (a new measurement run)."""
+        ...
+
+
+class _Bucket:
+    """One client's token state: ``tokens`` device-ms of budget as of
+    virtual time ``as_of``."""
+
+    __slots__ = ("tokens", "as_of")
+
+    def __init__(self, tokens: float):
+        self.tokens = tokens
+        self.as_of = 0.0
+
+
+class TokenBucketAdmission:
+    """Per-client token bucket on outstanding device time.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in device-milliseconds per virtual millisecond.  A
+        rate of 1.0 sustains one arm's worth of work; lower rates
+        throttle harder, higher rates admit parallel (multi-disk)
+        consumption.
+    burst_ms:
+        Bucket capacity: device time a client may consume immediately
+        before pacing kicks in.
+
+    The bucket is *post-debited*: an operation's device time is known
+    only after it ran, so ``observe`` debits it and ``admit`` delays the
+    **next** operation until the bucket refills to zero.  Deterministic
+    and independent of processing order within a client (operations of
+    one client are serial on its virtual timeline).
+    """
+
+    name = "token-bucket"
+
+    def __init__(self, rate: float = 1.0, burst_ms: float = 100.0):
+        if rate <= 0:
+            raise ConfigurationError(f"token rate must be > 0, got {rate}")
+        if burst_ms < 0:
+            raise ConfigurationError(f"burst must be >= 0, got {burst_ms}")
+        self.rate = rate
+        self.burst_ms = burst_ms
+        self._buckets: dict[str, _Bucket] = {}
+
+    # ------------------------------------------------------------------
+    def _bucket(self, client: str) -> _Bucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = _Bucket(self.burst_ms)
+        return bucket
+
+    def _refill(self, bucket: _Bucket, at: float) -> None:
+        if at > bucket.as_of:
+            bucket.tokens = min(
+                self.burst_ms, bucket.tokens + (at - bucket.as_of) * self.rate
+            )
+            bucket.as_of = at
+
+    def _throttled(self, client: str, at: float) -> float:
+        bucket = self._bucket(client)
+        self._refill(bucket, at)
+        if bucket.tokens >= 0.0:
+            return at
+        delayed = at + (-bucket.tokens) / self.rate
+        bucket.tokens = 0.0
+        bucket.as_of = delayed
+        return delayed
+
+    def _debit(self, client: str, device_ms: float) -> None:
+        self._bucket(client).tokens -= device_ms
+
+    # ------------------------------------------------------------------
+    def admit(self, client: str, at: float, clock) -> float:
+        return self._throttled(client, at)
+
+    def observe(
+        self, client: str, dispatched_at: float, device_ms: float, completion: float
+    ) -> None:
+        self._debit(client, device_ms)
+
+    def reset(self) -> None:
+        self._buckets.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rate={self.rate}, burst_ms={self.burst_ms})"
+
+
+class PriorityAdmission(TokenBucketAdmission):
+    """Two service classes: interactive bypasses, analytics is paced.
+
+    Parameters
+    ----------
+    classes:
+        Mapping of client name to service class (``interactive`` /
+        ``analytics``); unlisted clients get ``default_class``.
+    default_class:
+        Class of clients absent from ``classes`` (default
+        ``interactive`` — admission is opt-in per bulk client).
+    rate, burst_ms:
+        Token-bucket parameters applied to the analytics class (see
+        :class:`TokenBucketAdmission`); the default rate is deliberately
+        below one arm's worth so bulk work spreads out and interactive
+        operations back-fill the gaps.
+    """
+
+    name = "priority"
+
+    def __init__(
+        self,
+        classes: dict[str, str] | None = None,
+        default_class: str = "interactive",
+        rate: float = 0.25,
+        burst_ms: float = 60.0,
+    ):
+        super().__init__(rate=rate, burst_ms=burst_ms)
+        if default_class not in ADMISSION_CLASSES:
+            raise ConfigurationError(
+                f"unknown admission class '{default_class}'; "
+                f"valid: {ADMISSION_CLASSES}"
+            )
+        self.classes = dict(classes or {})
+        for client, cls in self.classes.items():
+            if cls not in ADMISSION_CLASSES:
+                raise ConfigurationError(
+                    f"unknown admission class '{cls}' for client "
+                    f"'{client}'; valid: {ADMISSION_CLASSES}"
+                )
+        self.default_class = default_class
+
+    def class_of(self, client: str) -> str:
+        """The service class of a client."""
+        return self.classes.get(client, self.default_class)
+
+    def admit(self, client: str, at: float, clock) -> float:
+        if self.class_of(client) == "interactive":
+            return at
+        return self._throttled(client, at)
+
+    def observe(
+        self, client: str, dispatched_at: float, device_ms: float, completion: float
+    ) -> None:
+        if self.class_of(client) == "analytics":
+            self._debit(client, device_ms)
+
+
+ADMISSIONS = ("none", "token-bucket", "priority")
+"""Valid admission-policy names for every ``admission=`` knob."""
+
+
+def make_admission(spec, **kwargs) -> "AdmissionPolicy | None":
+    """Resolve an admission-policy name (``None``/``"none"`` disable
+    it); keyword arguments configure the named policies."""
+    if spec is None or spec == "none":
+        if kwargs:
+            raise ConfigurationError(
+                "admission options given without an admission policy"
+            )
+        return None
+    if isinstance(spec, str):
+        if spec == "token-bucket":
+            return TokenBucketAdmission(**kwargs)
+        if spec == "priority":
+            return PriorityAdmission(**kwargs)
+        raise ConfigurationError(
+            f"unknown admission policy '{spec}'; valid: {ADMISSIONS}"
+        )
+    if isinstance(spec, AdmissionPolicy):
+        if kwargs:
+            raise ConfigurationError(
+                "admission options conflict with a ready policy instance"
+            )
+        return spec
+    raise ConfigurationError(f"not an admission policy: {spec!r}")
+
+
+def admission_name(policy: object) -> str:
+    """The registry name of an admission policy ('none' for ``None``)."""
+    if policy is None:
+        return "none"
+    name = getattr(policy, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(policy).__name__

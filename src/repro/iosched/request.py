@@ -244,5 +244,13 @@ class AccessPlan:
                 return start, npages
         return None
 
+    @property
+    def transferred(self) -> bool:
+        """Whether any executed step actually moved pages (cost > 0).
+        A plan absorbed entirely by resident frames records zero-cost
+        spans in :attr:`executed` — it read nothing, so it must not
+        trigger read-ahead."""
+        return any(cost > 0 for _, _, cost in self.executed)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AccessPlan({self.label!r}, {len(self.requests)} requests)"

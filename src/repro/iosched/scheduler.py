@@ -148,17 +148,32 @@ class VirtualClock:
     """Simulated time: one service queue per disk, one clock per client.
 
     ``dispatch(at, work)`` queues one request's per-disk work at virtual
-    time ``at``: each involved disk starts the fragment when it is free
-    (or at ``at``, whichever is later) and the request completes when
-    the slowest fragment does.  Clients that block on a plan advance to
-    its completion; non-blocking (prefetch) plans only occupy the disks.
+    time ``at``: each involved disk starts the fragment at the earliest
+    time >= ``at`` with an idle interval long enough to hold it — a
+    request issued early may *back-fill* a gap in front of work that was
+    queued for a later time (the service queues are busy-interval lists,
+    not single tail pointers) — and the request completes when the
+    slowest fragment does.  Clients that block on a plan advance to its
+    completion; non-blocking (prefetch) plans only occupy the disks.
+
+    After every ``dispatch``, :attr:`last_wait_ms` holds the queueing
+    delay of that request: the longest time any of its fragments sat
+    waiting for a busy arm beyond the issue time.
     """
 
-    __slots__ = ("disk_free", "clients")
+    __slots__ = ("_busy", "clients", "last_wait_ms")
 
     def __init__(self):
-        self.disk_free: list[float] = []
+        # Per disk: merged, sorted (start, end) busy intervals.
+        self._busy: list[list[tuple[float, float]]] = []
         self.clients: dict[str, float] = {}
+        self.last_wait_ms = 0.0
+
+    @property
+    def disk_free(self) -> list[float]:
+        """Per disk, the end of its last busy interval (0.0 while idle).
+        Earlier idle gaps may still exist in front of it."""
+        return [busy[-1][1] if busy else 0.0 for busy in self._busy]
 
     def client_time(self, client: str = "main") -> float:
         """A client's current virtual time in ms."""
@@ -169,24 +184,51 @@ class VirtualClock:
         if until > self.clients.get(client, 0.0):
             self.clients[client] = until
 
+    def _place(self, disk: int, at: float, work: float) -> float:
+        """Reserve ``work`` ms on one disk at the earliest start >=
+        ``at`` that fits a gap; returns the begin time."""
+        intervals = self._busy[disk]
+        begin = at
+        position = len(intervals)
+        for i, (start, end) in enumerate(intervals):
+            if end <= begin:
+                continue
+            if begin + work <= start:
+                position = i
+                break
+            begin = end
+        lo, hi = begin, begin + work
+        # Merge with exactly-touching neighbours to keep the list compact.
+        if position > 0 and intervals[position - 1][1] == lo:
+            lo = intervals[position - 1][0]
+            position -= 1
+            del intervals[position]
+        if position < len(intervals) and intervals[position][0] == hi:
+            hi = intervals[position][1]
+            del intervals[position]
+        intervals.insert(position, (lo, hi))
+        return begin
+
     def dispatch(self, at: float, work_per_disk: list[float]) -> float:
         """Queue one request's per-disk work at time ``at``; returns the
-        completion time (max over the involved disks)."""
-        if len(self.disk_free) < len(work_per_disk):
-            self.disk_free.extend(
-                0.0 for _ in range(len(work_per_disk) - len(self.disk_free))
+        completion time (max over the involved disks) and records the
+        request's queueing delay in :attr:`last_wait_ms`."""
+        if len(self._busy) < len(work_per_disk):
+            self._busy.extend(
+                [] for _ in range(len(work_per_disk) - len(self._busy))
             )
         finish = at
+        wait = 0.0
         for disk, work in enumerate(work_per_disk):
             if work <= 0.0:
                 continue
-            begin = self.disk_free[disk]
-            if begin < at:
-                begin = at
+            begin = self._place(disk, at, work)
             end = begin + work
-            self.disk_free[disk] = end
+            if begin - at > wait:
+                wait = begin - at
             if end > finish:
                 finish = end
+        self.last_wait_ms = wait
         return finish
 
     @property
@@ -194,17 +236,29 @@ class VirtualClock:
         """Virtual time when everything — every disk queue and every
         client — has finished."""
         latest = 0.0
-        for t in self.disk_free:
-            if t > latest:
-                latest = t
+        for busy in self._busy:
+            if busy and busy[-1][1] > latest:
+                latest = busy[-1][1]
         for t in self.clients.values():
             if t > latest:
                 latest = t
         return latest
 
     def reset(self) -> None:
-        self.disk_free.clear()
+        self._busy.clear()
         self.clients.clear()
+        self.last_wait_ms = 0.0
+
+
+class _OperationScope:
+    """State of one open :meth:`OverlapScheduler.operation` block."""
+
+    __slots__ = ("start", "completion", "device_ms")
+
+    def __init__(self, start: float):
+        self.start = start
+        self.completion = start
+        self.device_ms = 0.0
 
 
 class OverlapScheduler(SyncScheduler):
@@ -217,21 +271,46 @@ class OverlapScheduler(SyncScheduler):
     the submitting client's current time, queue per disk, and the plan
     completes when its slowest request does.  ``execute`` returns the
     client-observed response time (0 for non-blocking prefetch plans).
+
+    Two timing rules guard causality and fairness:
+
+    * a *prefetch* plan never dispatches before the demand plan whose
+      transfer produced its suggestion has completed — inside an
+      :meth:`operation` scope the demand plans dispatch at the scope's
+      start, but the speculative follow-up starts only at its trigger's
+      completion;
+    * an optional :class:`~repro.iosched.admission.AdmissionPolicy`
+      may delay an operation's dispatch time (``admission=`` knob);
+      the admission wait and every request's queueing delay behind
+      busy arms accumulate per client in :attr:`queueing`.
     """
 
     name = "overlap"
 
-    def __init__(self):
+    def __init__(self, admission=None):
+        from repro.iosched.admission import make_admission
+
         self.clock = VirtualClock()
         self._client = "main"
-        # Open operation scope: [issue_time, completion_so_far], or
-        # None outside an operation (then every blocking plan waits).
-        self._scope: list[float] | None = None
+        # Open operation scope, or None outside an operation (then
+        # every blocking plan waits for its own completion).
+        self._scope: _OperationScope | None = None
+        self.admission = make_admission(admission)
+        #: Accumulated queueing delay per client: admission waits plus
+        #: time the client's demand requests spent behind busy arms.
+        self.queueing: dict[str, float] = {}
+        # Completion time of the last non-prefetch plan (the causality
+        # floor for a follow-up prefetch dispatch).
+        self._last_completion = 0.0
 
     @property
     def client(self) -> str:
         """The session the next submitted plan is charged to."""
         return self._client
+
+    def client_queueing_ms(self, client: str) -> float:
+        """Accumulated queueing delay of one client in ms."""
+        return self.queueing.get(client, 0.0)
 
     @contextmanager
     def session(self, client: str) -> Iterator["OverlapScheduler"]:
@@ -253,38 +332,73 @@ class OverlapScheduler(SyncScheduler):
         pricing of a lone parallel batch — and the client advances to
         the slowest plan's completion when the block exits.  Requests
         still queue per disk, so concurrent clients' operations contend
-        for arms and overlap across them."""
+        for arms and overlap across them.
+
+        With an admission policy, the outermost operation's dispatch
+        time may be pushed later than the client's current time; the
+        wait counts into the client's queueing delay and the policy is
+        fed the operation's device time when the block exits."""
         with self.session(client):
             outer = self._scope
             now = self.clock.client_time(client)
-            self._scope = [now, now]
+            at = now
+            if self.admission is not None and outer is None:
+                at = self.admission.admit(client, now, self.clock)
+                if at < now:
+                    at = now
+                if at > now:
+                    self.queueing[client] = (
+                        self.queueing.get(client, 0.0) + (at - now)
+                    )
+            scope = _OperationScope(at)
+            self._scope = scope
             try:
                 yield self
             finally:
-                _, completion = self._scope
                 self._scope = outer
-                self.clock.wait(client, completion)
+                self.clock.wait(client, scope.completion)
+                if self.admission is not None and outer is None:
+                    self.admission.observe(
+                        client, at, scope.device_ms, scope.completion
+                    )
 
     def execute(self, plan: AccessPlan, pool: "BufferPool") -> float:
         scope = self._scope
         issue_at = (
-            scope[0] if scope is not None else self.clock.client_time(self._client)
+            scope.start if scope is not None else self.clock.client_time(self._client)
         )
+        if plan.prefetch and self._last_completion > issue_at:
+            # Causality: a speculative follow-up cannot start before the
+            # demand transfer that produced its suggestion completed.
+            issue_at = self._last_completion
         chains: set[int] = set()
         completion = issue_at
+        queued = 0.0
+        device_ms = 0.0
         for request in plan.requests:
             before = device_times(pool.disk)
             self._issue(request, pool, chains, plan)
             after = device_times(pool.disk)
             work = [now - then for now, then in zip(after, before)]
+            for w in work:
+                device_ms += w
             finished = self.clock.dispatch(issue_at, work)
+            queued += self.clock.last_wait_ms
             if finished > completion:
                 completion = finished
+        if scope is not None:
+            scope.device_ms += device_ms
+        if not plan.prefetch:
+            self._last_completion = completion
+            if plan.blocking and queued > 0.0:
+                self.queueing[self._client] = (
+                    self.queueing.get(self._client, 0.0) + queued
+                )
         if not plan.blocking:
             return 0.0
         if scope is not None:
-            if completion > scope[1]:
-                scope[1] = completion
+            if completion > scope.completion:
+                scope.completion = completion
         else:
             self.clock.wait(self._client, completion)
         return completion - issue_at
@@ -293,6 +407,10 @@ class OverlapScheduler(SyncScheduler):
         """Restart virtual time (e.g. between experiment phases)."""
         self.clock.reset()
         self._scope = None
+        self.queueing.clear()
+        self._last_completion = 0.0
+        if self.admission is not None:
+            self.admission.reset()
 
 
 SCHEDULERS = ("sync", "overlap")

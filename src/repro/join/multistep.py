@@ -161,6 +161,9 @@ def spatial_join(
             policy=policy,
             scheduler=scheduler,
             prefetcher=prefetch,
+            # The relations of an attached join share one allocator; it
+            # clamps read-ahead to the allocated page space.
+            allocator=org_r.allocator,
         )
     join = MBRJoin(org_r.tree, org_s.tree, pool)
     transfer_r = ObjectTransfer(org_r, pool, technique=technique)

@@ -21,12 +21,26 @@ from repro.pagestore.placement import (
     SpatialPlacement,
     make_placement,
 )
-from repro.pagestore.store import PageStore, ShardedPageStore, VectoredCost
+from repro.pagestore.store import (
+    PageStore,
+    ShardedPageStore,
+    VectoredCost,
+    validate_snapshot_shape,
+)
+from repro.pagestore.tiered import (
+    FAST_TIER_PARAMS,
+    MIGRATIONS,
+    TieredPageStore,
+)
 
 __all__ = [
     "PageStore",
     "ShardedPageStore",
+    "TieredPageStore",
     "VectoredCost",
+    "MIGRATIONS",
+    "FAST_TIER_PARAMS",
+    "validate_snapshot_shape",
     "PlacementPolicy",
     "RoundRobinPlacement",
     "HashPlacement",

@@ -46,7 +46,13 @@ from repro.disk.params import DiskParameters
 from repro.errors import ConfigurationError
 from repro.pagestore.placement import PlacementPolicy, make_placement
 
-__all__ = ["PageStore", "ShardedPageStore", "StoreSnapshot", "VectoredCost"]
+__all__ = [
+    "PageStore",
+    "ShardedPageStore",
+    "StoreSnapshot",
+    "VectoredCost",
+    "validate_snapshot_shape",
+]
 
 
 class StoreSnapshot(list):
@@ -65,6 +71,26 @@ class StoreSnapshot(list):
     def __init__(self, stats: Sequence[DiskStats], epoch: int):
         super().__init__(stats)
         self.epoch = epoch
+
+
+def validate_snapshot_shape(snapshot, n_disks: int, store: str) -> None:
+    """Refuse a per-disk snapshot whose shape does not match the store.
+
+    ``zip`` used to truncate silently: a marker taken from a store with
+    a different device count (or a single-disk :class:`DiskStats`)
+    produced a plausible-looking but wrong interval measurement."""
+    try:
+        length = len(snapshot)
+    except TypeError:
+        length = -1
+    if length != n_disks or not all(
+        isinstance(entry, DiskStats) for entry in snapshot
+    ):
+        raise ConfigurationError(
+            f"snapshot does not match {store}: expected {n_disks} "
+            f"per-device DiskStats entries, got "
+            f"{length if length >= 0 else type(snapshot).__name__}"
+        )
 
 
 @runtime_checkable
@@ -268,7 +294,13 @@ class ShardedPageStore:
     def _baseline(self, snapshot: list[DiskStats]) -> list[DiskStats]:
         """The snapshot to subtract: a marker taken before the last
         :meth:`reset` is stale — its totals no longer underlie the
-        current statistics — so the interval starts from zero."""
+        current statistics — so the interval starts from zero.  A
+        marker whose shape does not match this store (taken from a
+        store with a different disk count, or a single-disk
+        ``DiskStats``) is rejected instead of silently truncated."""
+        validate_snapshot_shape(
+            snapshot, len(self.disks), f"this {self.n_disks}-disk store"
+        )
         if getattr(snapshot, "epoch", self._epoch) != self._epoch:
             return [DiskStats() for _ in self.disks]
         return snapshot

@@ -1,0 +1,389 @@
+"""A two-tier page store: fast small tier over a capacity tier.
+
+The classic disk-based access-cost trade-off: a small amount of fast
+storage (lower seek/latency/transfer constants) in front of a large
+slow medium.  :class:`TieredPageStore` implements the
+:class:`~repro.pagestore.store.PageStore` protocol, so it slots in
+behind the :class:`~repro.buffer.pool.BufferPool` without touching any
+consumer — exactly like the sharded store, but trading *where a page
+lives* instead of *which arm serves it*.  Wire it in with
+``SpatialDatabase(tiering="promote-on-hit")``.
+
+Two placement models, selected by the migration policy:
+
+* ``static`` — an exclusive partition.  Every page is assigned a home
+  tier on first touch (fast while the fast tier has room, capacity
+  afterwards) and never moves; reads and writes are priced on the home
+  tier.  This is the grid-file-style hard-wired placement: cheap and
+  predictable, but blind to the workload.
+* ``promote-on-hit`` / ``lru-demote`` — an inclusive cache.  The
+  capacity tier is the home of every page; the fast tier holds copies
+  of at most ``fast_pages`` pages.  Reads are priced on the fast tier
+  when a copy exists, on the capacity tier otherwise; *promotion*
+  copies a page into the fast tier — priced as a fast-tier write that
+  is excluded from the demand read's *returned response* (it is device
+  time; under the overlap scheduler the copy-in occupies the fast
+  tier's service queue together with the triggering request, so later
+  requests queue behind it and the triggering client waits for it only
+  when the fast tier is that request's critical path); *demotion*
+  drops the least-recently-used copy for free (the capacity home is
+  still valid); a write prices on the capacity home and invalidates
+  the fast copy (write-invalidate).  ``promote-on-hit``
+  promotes a page on its ``promote_after``-th read (default: the second
+  — one re-reference proves warmth), ``lru-demote`` promotes on every
+  read (a plain LRU tier).
+
+Like the sharded store, the two tiers are independent devices: a
+request spanning both tiers is split into per-tier fragments, its
+response time is the max over the tiers, its device time the sum.  The
+:class:`~repro.iosched.scheduler.OverlapScheduler` sees the tiers as
+two service queues through the standard ``disks`` attribute.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Sequence
+
+from repro.disk.extent import Extent
+from repro.disk.model import DiskModel, DiskStats, VectoredCost, measure_costs
+from repro.disk.params import DiskParameters
+from repro.errors import ConfigurationError
+from repro.pagestore.store import StoreSnapshot, validate_snapshot_shape
+
+__all__ = [
+    "TieredPageStore",
+    "MIGRATIONS",
+    "FAST_TIER_PARAMS",
+    "fast_tier_params",
+]
+
+MIGRATIONS = ("static", "promote-on-hit", "lru-demote")
+"""Valid migration-policy names for every ``tiering=`` knob."""
+
+FAST_TIER_PARAMS = DiskParameters(seek_ms=2.0, latency_ms=1.0, transfer_ms=0.25)
+"""Default fast-tier constants: a 2 / 1 / 0.25 ms device against the
+paper's 9 / 6 / 1 ms capacity disk."""
+
+
+def fast_tier_params() -> DiskParameters:
+    """The default fast-tier :class:`~repro.disk.params.DiskParameters`."""
+    return FAST_TIER_PARAMS
+
+
+class TieredPageStore:
+    """One logical page space over a fast tier and a capacity tier.
+
+    Parameters
+    ----------
+    fast_pages:
+        Size of the fast tier in pages (its residency budget).
+    migration:
+        ``static`` / ``promote-on-hit`` / ``lru-demote`` (see the
+        module docstring).
+    fast_params:
+        Timing constants of the fast tier (default
+        :data:`FAST_TIER_PARAMS`).
+    params:
+        Timing constants of the capacity tier (default: the paper's
+        disk).  Exposed as :attr:`params` — the constants consumers
+        derive read schedules from, since the bulk of the data lives
+        there.
+    promote_after:
+        ``promote-on-hit`` only: number of reads of a capacity page
+        that triggers its promotion (>= 1).
+    """
+
+    FAST, CAPACITY = 0, 1
+
+    def __init__(
+        self,
+        fast_pages: int,
+        migration: str = "static",
+        fast_params: DiskParameters | None = None,
+        params: DiskParameters | None = None,
+        promote_after: int = 2,
+    ):
+        if fast_pages < 1:
+            raise ConfigurationError(
+                f"the fast tier needs at least one page, got {fast_pages}"
+            )
+        if migration not in MIGRATIONS:
+            raise ConfigurationError(
+                f"unknown migration policy '{migration}'; valid: {MIGRATIONS}"
+            )
+        if promote_after < 1:
+            raise ConfigurationError(
+                f"promote_after must be >= 1, got {promote_after}"
+            )
+        self.params = params or DiskParameters()
+        self.fast_params = fast_params or FAST_TIER_PARAMS
+        self.fast = DiskModel(self.fast_params)
+        self.capacity = DiskModel(self.params)
+        #: The tier devices, fast first — the overlap scheduler's
+        #: ``device_times`` reads this to time the tiers as two queues.
+        self.disks = [self.fast, self.capacity]
+        self.n_disks = 2
+        self.fast_pages = fast_pages
+        self.migration = migration
+        self.promote_after = promote_after
+        # Pages whose reads are served by the fast tier, in LRU order
+        # (static: permanent homes; cache policies: current copies).
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self._counts: dict[int, int] = {}
+        self.promotions = 0
+        self.demotions = 0
+        self.invalidations = 0
+        self._response_ms = 0.0
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # placement surface
+    # ------------------------------------------------------------------
+    def tier_of(self, page: int) -> int:
+        """The tier currently serving reads of ``page``."""
+        return self.FAST if page in self._resident else self.CAPACITY
+
+    @property
+    def fast_resident(self) -> int:
+        """Pages currently served by the fast tier."""
+        return len(self._resident)
+
+    @property
+    def fast_share(self) -> float:
+        """Occupied fraction of the fast tier's budget."""
+        return len(self._resident) / self.fast_pages
+
+    def forget_extent(self, extent: Extent) -> None:
+        """Drop a freed or relocated extent's pages from the fast tier
+        (free — the pages are dead, there is nothing to copy back)."""
+        for page in extent.pages():
+            self._resident.pop(page, None)
+            self._counts.pop(page, None)
+
+    def _fragments(self, start: int, npages: int) -> Iterator[tuple[int, int, int]]:
+        """Split ``[start, start + npages)`` into maximal runs served by
+        one tier; yields ``(tier, start, npages)``."""
+        run_tier = self.tier_of(start)
+        run_start = start
+        for page in range(start + 1, start + npages):
+            tier = self.tier_of(page)
+            if tier != run_tier:
+                yield run_tier, run_start, page - run_start
+                run_tier, run_start = tier, page
+        yield run_tier, run_start, start + npages - run_start
+
+    # ------------------------------------------------------------------
+    # migration machinery
+    # ------------------------------------------------------------------
+    def _static_fill(self, pages: Sequence[int] | range) -> None:
+        """First-touch home assignment of the ``static`` policy: new
+        pages live in the fast tier while it has room."""
+        for page in pages:
+            if page in self._resident or page in self._counts:
+                continue
+            if len(self._resident) < self.fast_pages:
+                self._resident[page] = None
+            else:
+                # Remember capacity homes so a later fast-tier vacancy
+                # (impossible under static, but cheap to keep exact)
+                # does not re-home an old page.
+                self._counts[page] = 0
+
+    def _promote(self, pages: list[int]) -> None:
+        """Copy pages into the fast tier: priced as fast-tier writes
+        that the returned response excludes (an overlap scheduler still
+        times them on the fast tier's service queue, as part of the
+        triggering request), evicting LRU copies for free when the
+        budget is exceeded."""
+        if not pages:
+            return
+        runs: list[tuple[int, int]] = []
+        for page in sorted(pages):
+            self._counts.pop(page, None)
+            self._resident[page] = None
+            if runs and page == runs[-1][0] + runs[-1][1]:
+                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+            else:
+                runs.append((page, 1))
+        first = True
+        for run_start, run_pages in runs:
+            self.fast.write(run_start, run_pages, not first)
+            first = False
+        self.promotions += len(pages)
+        while len(self._resident) > self.fast_pages:
+            self._resident.popitem(last=False)
+            self.demotions += 1
+
+    def _after_read(self, start: int, npages: int) -> None:
+        """Apply the migration policy to one demand-read run."""
+        if self.migration == "static":
+            return
+        promote: list[int] = []
+        for page in range(start, start + npages):
+            if page in self._resident:
+                self._resident.move_to_end(page)
+            elif self.migration == "lru-demote":
+                promote.append(page)
+            else:  # promote-on-hit
+                count = self._counts.get(page, 0) + 1
+                if count >= self.promote_after:
+                    promote.append(page)
+                else:
+                    self._counts[page] = count
+        self._promote(promote)
+
+    # ------------------------------------------------------------------
+    # request pricing
+    # ------------------------------------------------------------------
+    def _transfer(
+        self,
+        kind: str,
+        runs: Sequence[tuple[int, int]],
+        continuation: bool,
+    ) -> float:
+        """Price one batch of runs across the tiers.  As in the sharded
+        store, each tier positions once per batch: its first fragment
+        takes the caller's ``continuation`` flag, further fragments are
+        continuations; the response is the max over the tiers."""
+        if self.migration == "static":
+            for start, npages in runs:
+                self._static_fill(range(start, start + npages))
+        per_tier: dict[int, float] = {}
+        demand: list[tuple[int, int]] = []
+        for start, npages in runs:
+            for tier, frag_start, frag_pages in self._fragments(start, npages):
+                device = self.disks[tier]
+                frag_continuation = True if tier in per_tier else continuation
+                cost = getattr(device, kind)(frag_start, frag_pages, frag_continuation)
+                per_tier[tier] = per_tier.get(tier, 0.0) + cost
+                if kind == "read":
+                    demand.append((frag_start, frag_pages))
+        if kind == "read":
+            for frag_start, frag_pages in demand:
+                self._after_read(frag_start, frag_pages)
+        if not per_tier:
+            return 0.0
+        response = max(per_tier.values())
+        self._response_ms += response
+        return response
+
+    def read(self, start: int, npages: int = 1, continuation: bool = False) -> float:
+        """Price a read; returns its response time in ms (migration
+        device time excluded)."""
+        return self._transfer("read", [(start, npages)], continuation)
+
+    def read_runs(
+        self, runs: Sequence[tuple[int, int]], continuation: bool = False
+    ) -> float:
+        """Price one vectored batch of read runs (the buffer pool's
+        coalescing scheduler) as a single tier-split request."""
+        return self._transfer("read", runs, continuation)
+
+    def write(self, start: int, npages: int = 1, continuation: bool = False) -> float:
+        """Price a write.  ``static`` writes to the pages' home tiers;
+        the cache policies write through to the capacity home and
+        invalidate any fast copies (write-invalidate)."""
+        if self.migration == "static":
+            return self._transfer("write", [(start, npages)], continuation)
+        for page in range(start, start + npages):
+            if page in self._resident:
+                del self._resident[page]
+                self.invalidations += 1
+            self._counts.pop(page, None)
+        cost = self.capacity.write(start, npages, continuation)
+        self._response_ms += cost
+        return cost
+
+    def read_extent(self, extent: Extent, continuation: bool = False) -> float:
+        return self.read(extent.start, extent.npages, continuation)
+
+    def write_extent(self, extent: Extent, continuation: bool = False) -> float:
+        return self.write(extent.start, extent.npages, continuation)
+
+    def charge(self, seeks: int = 0, rotations: int = 0, pages: int = 0) -> float:
+        """Account an analytic cost (no page addresses — nothing to
+        tier) on the capacity device."""
+        cost = self.capacity.charge(seeks=seeks, rotations=rotations, pages=pages)
+        self._response_ms += cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> DiskStats:
+        """Aggregate device-time statistics (sum over the tiers)."""
+        return self.fast.stats() + self.capacity.stats()
+
+    def per_disk_stats(self) -> list[DiskStats]:
+        """Snapshot of each tier's own statistics, fast first."""
+        return [self.fast.stats(), self.capacity.stats()]
+
+    @property
+    def total_ms(self) -> float:
+        """Total device time in milliseconds (sum over the tiers)."""
+        return self.fast.total_ms + self.capacity.total_ms
+
+    @property
+    def response_ms(self) -> float:
+        """Accumulated per-request response time."""
+        return self._response_ms
+
+    def snapshot(self) -> StoreSnapshot:
+        """Per-tier statistics marker (tagged with the reset epoch)."""
+        return StoreSnapshot(self.per_disk_stats(), self._epoch)
+
+    def _baseline(self, snapshot: list[DiskStats]) -> list[DiskStats]:
+        validate_snapshot_shape(snapshot, len(self.disks), "this tiered store")
+        if getattr(snapshot, "epoch", self._epoch) != self._epoch:
+            return [DiskStats() for _ in self.disks]
+        return snapshot
+
+    def stats_since(self, snapshot: list[DiskStats]) -> DiskStats:
+        """Aggregate device-time statistics delta since ``snapshot``."""
+        total = DiskStats()
+        for disk, before in zip(self.disks, self._baseline(snapshot)):
+            total = total + disk.stats_since(before)
+        return total
+
+    def cost_since(self, snapshot: list[DiskStats]) -> VectoredCost:
+        """Parallel cost of everything priced since ``snapshot``:
+        response is the busier tier's delta, device time the sum."""
+        per_tier = [
+            (disk.stats() - before).total_ms
+            for disk, before in zip(self.disks, self._baseline(snapshot))
+        ]
+        return VectoredCost(
+            response_ms=max(per_tier, default=0.0),
+            total_ms=sum(per_tier),
+            per_disk_ms=per_tier,
+        )
+
+    def measure(self):
+        """Context manager measuring a batch of requests (see
+        :func:`~repro.disk.model.measure_costs`)."""
+        return measure_costs(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def invalidate_head(self) -> None:
+        """Forget both tiers' head positions."""
+        self.fast.invalidate_head()
+        self.capacity.invalidate_head()
+
+    def reset(self) -> None:
+        """Zero all statistics and head positions (tier residency and
+        migration counters are kept — they describe placement, not an
+        experiment phase).  Bumps the reset epoch so stale snapshots
+        measure from zero instead of going negative."""
+        self.fast.reset()
+        self.capacity.reset()
+        self._response_ms = 0.0
+        self._epoch += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(fast_pages={self.fast_pages}, "
+            f"migration='{self.migration}', resident={len(self._resident)})"
+        )

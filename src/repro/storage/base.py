@@ -115,7 +115,11 @@ class SpatialOrganization(abc.ABC):
             pool
             if pool is not None
             else BufferPool(
-                self.disk, capacity=0, scheduler=scheduler, prefetcher=prefetch
+                self.disk,
+                capacity=0,
+                scheduler=scheduler,
+                prefetcher=prefetch,
+                allocator=self.allocator,
             )
         )
 

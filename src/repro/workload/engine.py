@@ -37,6 +37,7 @@ from repro.disk.model import DiskStats
 from repro.errors import ConfigurationError
 from repro.geometry.feature import SpatialObject
 from repro.geometry.rect import Rect
+from repro.iosched.admission import admission_name, make_admission
 from repro.iosched.scheduler import OverlapScheduler, device_times, scheduler_name
 from repro.storage.base import SpatialOrganization
 
@@ -47,7 +48,20 @@ __all__ = [
     "ClientStats",
     "SessionsReport",
     "WorkloadEngine",
+    "latency_percentile",
 ]
+
+
+def latency_percentile(latencies, q: float) -> float:
+    """Nearest-rank percentile of a latency sample (0.0 when empty).
+
+    Deterministic and interpolation-free: the reported p95 is an actual
+    observed operation latency, not a synthetic midpoint."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = int(-(-q * len(ordered) // 1))  # ceil
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
 
 OP_KINDS = ("window", "point", "insert", "delete", "join")
 """Operation kinds understood by the engine.
@@ -82,10 +96,21 @@ class PhaseStats:
     misses: int = 0
     io: DiskStats = field(default_factory=DiskStats)
     response_ms: float = 0.0
+    latencies: list[float] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
         return hit_ratio(self.hits, self.misses)
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-operation latency of this phase."""
+        return latency_percentile(self.latencies, 0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-operation latency of this phase."""
+        return latency_percentile(self.latencies, 0.95)
 
     @property
     def overlap_ms(self) -> float:
@@ -205,13 +230,28 @@ class ClientStats:
     ``response_ms`` is the time this client spent waiting for its own
     operations — under the overlap scheduler its virtual-clock session
     time, which includes queueing behind other clients; ``device_ms``
-    the device time its operations consumed."""
+    the device time its operations consumed; ``queueing_ms`` the share
+    of the response spent waiting — admission delays plus time the
+    client's requests sat behind busy arms; ``latencies`` the per-
+    operation response times behind the percentile properties."""
 
     name: str
     operations: int = 0
     results: int = 0
     response_ms: float = 0.0
     device_ms: float = 0.0
+    queueing_ms: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def p50_ms(self) -> float:
+        """Median operation latency of this client."""
+        return latency_percentile(self.latencies, 0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile operation latency of this client."""
+        return latency_percentile(self.latencies, 0.95)
 
 
 @dataclass(slots=True)
@@ -226,6 +266,7 @@ class SessionsReport(WorkloadReport):
     """
 
     scheduler: str = "sync"
+    admission: str = "none"
     makespan_ms: float = 0.0
     clients: list[ClientStats] = field(default_factory=list)
 
@@ -239,7 +280,8 @@ class SessionsReport(WorkloadReport):
         from repro.eval.report import format_table
 
         header = title or (
-            f"sessions: scheduler={self.scheduler}, policy={self.policy}, "
+            f"sessions: scheduler={self.scheduler}, "
+            f"admission={self.admission}, policy={self.policy}, "
             f"buffer={self.buffer_pages} pages"
         )
         # Explicit base call: zero-argument super() loses its class
@@ -252,6 +294,9 @@ class SessionsReport(WorkloadReport):
                 c.results,
                 c.device_ms,
                 c.response_ms,
+                c.queueing_ms,
+                c.p50_ms,
+                c.p95_ms,
             )
             for c in self.clients
         ]
@@ -262,11 +307,23 @@ class SessionsReport(WorkloadReport):
                 sum(c.results for c in self.clients),
                 self.total_io.total_ms,
                 self.makespan_ms,
+                sum(c.queueing_ms for c in self.clients),
+                "",
+                "",
             )
         )
         parts.append(
             format_table(
-                ("client", "ops", "results", "device ms", "response ms"),
+                (
+                    "client",
+                    "ops",
+                    "results",
+                    "device ms",
+                    "response ms",
+                    "queue ms",
+                    "p50 ms",
+                    "p95 ms",
+                ),
                 rows,
                 title="per-client sessions",
             )
@@ -324,7 +381,8 @@ class WorkloadEngine:
                     report.phases.append(phase)
                 phase.operations += 1
                 phase.results += results
-                self._account(phase, response_ms=waited)
+                latency = self._account(phase, response_ms=waited)
+                phase.latencies.append(latency)
             self._flush_phase(report, scheduler)
         return report
 
@@ -339,7 +397,7 @@ class WorkloadEngine:
             return scheduler
         return None
 
-    def run_sessions(self, sessions) -> SessionsReport:
+    def run_sessions(self, sessions, admission=None) -> SessionsReport:
         """Execute several client streams as interleaved sessions.
 
         ``sessions`` maps client names to operation streams (a dict, or
@@ -358,19 +416,40 @@ class WorkloadEngine:
         below the serial response time.  Under the default sync
         scheduler the same interleaving executes serially (response
         times match :meth:`run`'s accounting).
+
+        ``admission`` installs an admission-control policy (name or
+        :class:`~repro.iosched.admission.AdmissionPolicy`) on the
+        overlap scheduler for this run only; admission needs the
+        virtual clock, so requesting it under the sync scheduler is a
+        configuration error.  The per-client statistics carry each
+        session's accumulated queueing delay and per-operation latency
+        percentiles (p50/p95) either way.
         """
         pairs = (
             list(sessions.items())
             if isinstance(sessions, dict)
             else [(name, ops) for name, ops in sessions]
         )
+        admission_policy = make_admission(admission)
+        scheduler = self._timed_scheduler()
+        timed = scheduler is not None
+        if admission_policy is not None and not timed:
+            raise ConfigurationError(
+                "admission control needs the overlap scheduler — "
+                "admission delays live on the virtual clock"
+            )
+        previous_admission = scheduler.admission if timed else None
+        if admission_policy is not None:
+            scheduler.admission = admission_policy
+            admission_policy.reset()
         report = SessionsReport(
             policy=self.pool.policy,
             buffer_pages=self.pool.capacity,
             scheduler=scheduler_name(self.pool.scheduler),
+            admission=admission_name(
+                scheduler.admission if timed else None
+            ),
         )
-        scheduler = self._timed_scheduler()
-        timed = scheduler is not None
         phases: dict[str, PhaseStats] = {}
         clients: list[ClientStats] = []
         queues: list[tuple[ClientStats, deque]] = []
@@ -379,38 +458,52 @@ class WorkloadEngine:
             clients.append(stats)
             queues.append((stats, deque(ops)))
         report.clients = clients
-        with self.storage.use_pool(self.pool):
-            while any(queue for _, queue in queues):
-                for client, queue in queues:
-                    if not queue:
-                        continue
-                    op = queue.popleft()
-                    self._snapshot()
-                    if timed:
-                        started = scheduler.clock.client_time(client.name)
-                        with scheduler.operation(client.name):
+        try:
+            with self.storage.use_pool(self.pool):
+                while any(queue for _, queue in queues):
+                    for client, queue in queues:
+                        if not queue:
+                            continue
+                        op = queue.popleft()
+                        self._snapshot()
+                        if timed:
+                            started = scheduler.clock.client_time(client.name)
+                            queued_mark = scheduler.client_queueing_ms(
+                                client.name
+                            )
+                            with scheduler.operation(client.name):
+                                kind, results = self._execute(op)
+                            waited = (
+                                scheduler.clock.client_time(client.name)
+                                - started
+                            )
+                            client.queueing_ms += (
+                                scheduler.client_queueing_ms(client.name)
+                                - queued_mark
+                            )
+                        else:
                             kind, results = self._execute(op)
-                        waited = (
-                            scheduler.clock.client_time(client.name) - started
-                        )
-                    else:
-                        kind, results = self._execute(op)
-                        waited = self.storage.disk.cost_since(
-                            self._measure_mark
-                        ).response_ms
-                    phase = phases.get(kind)
-                    if phase is None:
-                        phase = phases[kind] = PhaseStats(kind)
-                        report.phases.append(phase)
-                    phase.operations += 1
-                    phase.results += results
-                    device_before = phase.io.total_ms
-                    self._account(phase, response_ms=waited)
-                    client.operations += 1
-                    client.results += results
-                    client.response_ms += waited
-                    client.device_ms += phase.io.total_ms - device_before
-            self._flush_phase(report, scheduler)
+                            waited = self.storage.disk.cost_since(
+                                self._measure_mark
+                            ).response_ms
+                        phase = phases.get(kind)
+                        if phase is None:
+                            phase = phases[kind] = PhaseStats(kind)
+                            report.phases.append(phase)
+                        phase.operations += 1
+                        phase.results += results
+                        device_before = phase.io.total_ms
+                        self._account(phase, response_ms=waited)
+                        phase.latencies.append(waited)
+                        client.operations += 1
+                        client.results += results
+                        client.response_ms += waited
+                        client.latencies.append(waited)
+                        client.device_ms += phase.io.total_ms - device_before
+                self._flush_phase(report, scheduler)
+        finally:
+            if admission_policy is not None:
+                scheduler.admission = previous_admission
         if timed:
             report.makespan_ms = scheduler.clock.makespan
         else:
@@ -451,19 +544,22 @@ class WorkloadEngine:
         self._hits_mark = self.pool.hits
         self._misses_mark = self.pool.misses
 
-    def _account(self, phase: PhaseStats, response_ms: float | None = None) -> None:
+    def _account(self, phase: PhaseStats, response_ms: float | None = None) -> float:
+        """Fold the interval since the last :meth:`_snapshot` into a
+        phase; returns the operation's response-time contribution (the
+        per-operation latency the percentile reporting collects)."""
         disk = self.storage.disk
         phase.io = phase.io + disk.stats_since(self._measure_mark)
-        if response_ms is not None:
-            # The caller timed the operation itself (a virtual-clock
-            # session under the overlap scheduler).
-            phase.response_ms += response_ms
-        else:
+        if response_ms is None:
             # Per operation, the response time is the busiest disk's
             # delta (equal to the device time on a single disk).
-            phase.response_ms += disk.cost_since(self._measure_mark).response_ms
+            response_ms = disk.cost_since(self._measure_mark).response_ms
+        # Otherwise the caller timed the operation itself (a virtual-
+        # clock session under the overlap scheduler).
+        phase.response_ms += response_ms
         phase.hits += self.pool.hits - self._hits_mark
         phase.misses += self.pool.misses - self._misses_mark
+        return response_ms
 
     def _execute(self, op) -> tuple[str, int]:
         """Execute one operation (the caller snapshots the statistics

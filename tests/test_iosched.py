@@ -24,6 +24,7 @@ from repro.iosched import (
     prefetcher_name,
     scheduler_name,
 )
+from repro.disk.allocator import PageAllocator
 from repro.disk.extent import Extent
 from repro.pagestore.store import ShardedPageStore
 from repro.workload.streams import mixed_stream
@@ -471,13 +472,26 @@ class TestClockHygiene:
     def test_run_workload_is_clock_aware_under_overlap(self):
         """The workload engine's plain run() wraps operations in
         virtual-clock scopes, so prefetch overlap shows up in the
-        response columns instead of silently reporting sync numbers."""
-        objects = make_objects(150, seed=5)
-        stream = [("window", 0.0, 0.0, 6000.0, 6000.0)] * 4
+        response columns instead of silently reporting sync numbers.
+
+        The ``page`` technique reads only the matching pages of each
+        cluster unit, so the cluster prefetcher has *real* (allocated)
+        pages to read ahead — phantom pages past the allocator's
+        high-water mark no longer count (they used to make this margin
+        for free) — and the widening windows consume, in a *later*
+        operation, the unit remainders an earlier operation's prefetch
+        loaded (a prefetch dispatches only after its triggering demand
+        read completes, so it cannot pay off within the same batch)."""
+        objects = make_objects(300, seed=5)
+        stream = [
+            ("window", 0.0, 0.0, 1500.0, 8000.0),
+            ("window", 0.0, 0.0, 4000.0, 8000.0),
+            ("window", 0.0, 0.0, 8000.0, 8000.0),
+        ] * 2
 
         def run(scheduler, prefetch=None):
             db = SpatialDatabase(
-                smax_bytes=16 * 4096, n_disks=4,
+                smax_bytes=16 * 4096, n_disks=4, technique="page",
                 scheduler=scheduler, prefetch=prefetch,
             )
             db.build(objects)
@@ -491,6 +505,157 @@ class TestClockHygiene:
             sync_report.total_response_ms
         )
         # With prefetching, the speculative reads ride on non-blocking
-        # plans: device time grows but the client does not wait for it.
+        # plans: device time grows but the client does not wait for it —
+        # and the later windows find their unit remainders resident, so
+        # the client response drops below the unprefetched baseline.
         prefetched = run("overlap", "cluster")
         assert prefetched.total_io.total_ms > prefetched.total_response_ms
+        assert prefetched.total_response_ms < overlap_report.total_response_ms
+
+
+class RecordingPrefetcher:
+    """Wraps a prefetch policy, recording every consultation."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.calls = 0
+
+    def suggest(self, plan):
+        self.calls += 1
+        return self.inner.suggest(plan)
+
+
+class TestPrefetchHighWaterClamp:
+    """Regression (PR 5): read-ahead must never transfer pages past the
+    allocator's high-water mark — phantom pages used to inflate device
+    time for free."""
+
+    def test_suggestions_past_the_high_water_mark_are_dropped(self):
+        allocator = PageAllocator()
+        allocator.region("data").allocate(4)  # pages 0..3 exist
+        disk = DiskModel()
+        pool = BufferPool(
+            disk, capacity=64,
+            prefetcher=SequentialPrefetcher(8), allocator=allocator,
+        )
+        pool.submit(AccessPlan("t").read(0, 4))
+        # The suggestion (4, 8) lies entirely in unallocated space: no
+        # phantom transfer, device time covers the demand read alone.
+        assert disk.stats().pages_transferred == 4
+        assert disk.stats().requests == 1
+        assert len(pool) == 4
+
+    def test_partial_clamp_keeps_the_allocated_prefix(self):
+        allocator = PageAllocator()
+        allocator.region("data").allocate(10)  # pages 0..9 exist
+        disk = DiskModel()
+        pool = BufferPool(
+            disk, capacity=64,
+            prefetcher=SequentialPrefetcher(8), allocator=allocator,
+        )
+        pool.submit(AccessPlan("t").read(0, 4))
+        # Suggested 4..11; only 4..9 are allocated.
+        assert disk.stats().pages_transferred == 10
+        assert 9 in pool and 10 not in pool
+
+    def test_pages_of_no_region_are_not_invented(self):
+        disk = DiskModel()
+        pool = BufferPool(
+            disk, capacity=64,
+            prefetcher=SequentialPrefetcher(8), allocator=PageAllocator(),
+        )
+        # The allocator owns no regions at all: every suggestion lies
+        # in space no component ever claimed and is clamped away.
+        pool.submit(AccessPlan("t").read(0, 2))
+        assert disk.stats().pages_transferred == 2
+
+    def test_without_allocator_behaviour_is_unchanged(self):
+        disk = DiskModel()
+        pool = BufferPool(disk, capacity=64, prefetcher=SequentialPrefetcher(8))
+        pool.submit(AccessPlan("t").read(0, 2))
+        assert disk.stats().pages_transferred == 10
+
+
+class TestPrefetchTriggerGate:
+    """Regression (PR 5): a plan fully absorbed by resident frames
+    (zero-cost executed spans) must not consult the prefetcher — the
+    docstring always said 'transferred anything', the code checked
+    non-emptiness."""
+
+    @pytest.mark.parametrize("policy", ["sequential", "cluster"])
+    def test_all_hit_plan_does_not_prefetch(self, policy):
+        disk = DiskModel()
+        inner = make_prefetcher(policy, depth=4)
+        spy = RecordingPrefetcher(inner)
+        pool = BufferPool(disk, capacity=64, prefetcher=spy)
+        pool.admit_all(range(0, 4))
+        plan = AccessPlan("t", extent=Extent(0, 8))
+        plan.read(0, 4)
+        pool.submit(plan)
+        assert plan.executed and not plan.transferred
+        assert spy.calls == 0
+        # An all-hit plan moves no pages — and triggers no speculative
+        # unit completion either (the cluster policy would otherwise
+        # have read pages 4..7 here).
+        assert disk.stats().requests == 0
+
+    @pytest.mark.parametrize("policy", ["sequential", "cluster"])
+    def test_transferring_plan_still_prefetches(self, policy):
+        allocator = PageAllocator()
+        allocator.region("data").allocate(16)
+        disk = DiskModel()
+        inner = make_prefetcher(policy, depth=4)
+        spy = RecordingPrefetcher(inner)
+        pool = BufferPool(disk, capacity=64, prefetcher=spy, allocator=allocator)
+        plan = AccessPlan("t", extent=Extent(0, 8))
+        plan.read(0, 4)
+        pool.submit(plan)
+        assert plan.transferred
+        assert spy.calls == 1
+        assert disk.stats().pages_transferred > 4
+
+
+class TestPrefetchCausality:
+    """Regression (PR 5): a follow-up prefetch plan inside an operation
+    scope used to dispatch at the *operation's* start — before the
+    demand read that produced its suggestion had even completed."""
+
+    def test_prefetch_dispatches_at_trigger_completion(self):
+        # chunk_pages=4: pages 0..3 on disk 0, 4..7 on disk 1.
+        store = ShardedPageStore(2, placement="round_robin", chunk_pages=4)
+        allocator = PageAllocator()
+        allocator.region("data").allocate(8)
+        sched = OverlapScheduler()
+        pool = BufferPool(
+            store, capacity=64, scheduler=sched,
+            prefetcher=SequentialPrefetcher(4), allocator=allocator,
+        )
+        with sched.operation("main"):
+            pool.submit(AccessPlan("t").read(0, 4))
+        demand = DiskModel().read(0, 4)      # 9 + 6 + 4 = 19 ms
+        prefetch = DiskModel().read(4, 4)
+        # Disk 1's prefetch work starts only at the demand completion:
+        # its queue ends at demand + prefetch, not at prefetch.
+        assert sched.clock.disk_free[0] == pytest.approx(demand)
+        assert sched.clock.disk_free[1] == pytest.approx(demand + prefetch)
+        # Clock monotonicity: nothing the prefetch occupied lies before
+        # the demand transfer's completion.
+        (start, end), = sched.clock._busy[1]
+        assert start >= demand
+        assert end - start == pytest.approx(prefetch)
+
+    def test_client_still_does_not_wait_for_the_prefetch(self):
+        store = ShardedPageStore(2, placement="round_robin", chunk_pages=4)
+        allocator = PageAllocator()
+        allocator.region("data").allocate(8)
+        sched = OverlapScheduler()
+        pool = BufferPool(
+            store, capacity=64, scheduler=sched,
+            prefetcher=SequentialPrefetcher(4), allocator=allocator,
+        )
+        with sched.operation("main"):
+            pool.submit(AccessPlan("t").read(0, 4))
+        assert sched.clock.client_time("main") == pytest.approx(
+            DiskModel().read(0, 4)
+        )

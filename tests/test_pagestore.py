@@ -495,3 +495,50 @@ class TestResetEpoch:
         store.read(0, 2)
         delta = store.stats_since(snap)
         assert delta.pages_transferred == 2
+
+
+class TestSnapshotShape:
+    """Regression (PR 5): ``stats_since`` / ``cost_since`` used to
+    truncate silently via ``zip`` when handed a snapshot from a store
+    with a different disk count — a plausible-looking but wrong
+    measurement.  A shape mismatch is now a configuration error."""
+
+    def test_mismatched_disk_count_rejected(self):
+        four = ShardedPageStore(4)
+        two = ShardedPageStore(2)
+        foreign = two.snapshot()
+        with pytest.raises(ConfigurationError):
+            four.stats_since(foreign)
+        with pytest.raises(ConfigurationError):
+            four.cost_since(foreign)
+
+    def test_single_disk_marker_rejected(self):
+        store = ShardedPageStore(2)
+        with pytest.raises(ConfigurationError):
+            store.stats_since(DiskModel().snapshot())
+        with pytest.raises(ConfigurationError):
+            store.cost_since(DiskStats())
+
+    def test_garbage_rejected(self):
+        store = ShardedPageStore(2)
+        with pytest.raises(ConfigurationError):
+            store.stats_since(None)
+        with pytest.raises(ConfigurationError):
+            store.cost_since([DiskStats(), "not stats"])
+
+    def test_matching_snapshot_still_measures(self):
+        store = ShardedPageStore(2, placement="round_robin", chunk_pages=1)
+        snap = store.snapshot()
+        store.read(0, 2)
+        assert store.stats_since(snap).pages_transferred == 2
+        cost = store.cost_since(snap)
+        assert cost.total_ms > 0.0
+        assert len(cost.per_disk_ms) == 2
+
+    def test_plain_list_of_matching_stats_accepted(self):
+        # Compatibility: a bare list[DiskStats] of the right shape
+        # (what snapshot() returned before the epoch marker) works.
+        store = ShardedPageStore(2, placement="round_robin", chunk_pages=1)
+        snap = [DiskStats(), DiskStats()]
+        store.read(0, 1)
+        assert store.stats_since(snap).requests == 1
