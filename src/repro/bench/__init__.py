@@ -6,17 +6,21 @@ tree construction, window/point-query batches, the full spatial join
 and a mixed workload run, under both the vectorized kernels and the
 ``REPRO_SCALAR_KERNELS`` fallback (:mod:`repro.core.kernels`), and
 writes the medians, machine-normalized scores and speedups to
-``BENCH_query_kernels.json`` so future PRs have a perf trajectory.
+``BENCH_<bench>.json`` so future PRs have a perf trajectory.  Two
+benches exist: ``query_kernels`` (per-layer kernel scenarios) and
+``flat_tree`` (the structure-of-arrays snapshot layer and the
+organization-level batch path).
 
-Run it with ``python -m repro.eval bench``.
+Run them with ``python -m repro.eval bench [--bench flat_tree]``.
 """
 
 from repro.bench.harness import (
     BENCH_NAME,
+    BENCHES,
     calibrate,
     main,
     run_bench,
     write_json,
 )
 
-__all__ = ["BENCH_NAME", "calibrate", "main", "run_bench", "write_json"]
+__all__ = ["BENCH_NAME", "BENCHES", "calibrate", "main", "run_bench", "write_json"]

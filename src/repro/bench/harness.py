@@ -1,5 +1,16 @@
 """The wall-clock benchmark harness (``python -m repro.eval bench``).
 
+Two benches share the harness (select with ``--bench``):
+
+* ``query_kernels`` (default, ``BENCH_query_kernels.json``) — the
+  per-layer scenarios below;
+* ``flat_tree`` (``BENCH_flat_tree.json``) — the structure-of-arrays
+  snapshot layer: whole-tree batched filter steps plus the
+  organization-level batch path end-to-end (where the org scenarios
+  report ``(answers, io_ms)`` and the harness's outcome-equality
+  assertion doubles as a pricing-equivalence check between the merged
+  batch plans and the per-query scalar path).
+
 Methodology
 -----------
 * Every scenario is a deterministic callable timed with
@@ -26,13 +37,14 @@ Scenarios
 ``window_batch`` / ``point_batch``
     The R*-tree *filter* step over a query batch via
     :meth:`~repro.rtree.rstar.RStarTree.window_query_batch` — one
-    shared traversal, one broadcast mask per visited node (no I/O
-    pricing, no refinement).  The scalar fallback loops the per-query
+    frontier-at-a-time traversal of the flat snapshot (no I/O pricing,
+    no refinement).  The scalar fallback loops the per-query
     entry-at-a-time path.
 ``window_org`` / ``point_org``
-    The same batches end-to-end through the cluster organization
+    Single queries looped end-to-end through the cluster organization
     (filter + transfer pricing + exact refinement), for context on how
-    much of the serving path the kernels are.
+    much of the serving path the kernels are; the *batched* org path
+    has its own scenarios in the ``flat_tree`` bench.
 ``join``
     The complete multi-step spatial join with exact evaluation
     (synchronized traversal, candidate generation, batched refinement
@@ -66,7 +78,15 @@ SCENARIOS = (
     "join",
     "workload",
 )
-"""Scenario names, in run order (must match _build_scenarios)."""
+"""query_kernels scenario names, in run order (must match the builder)."""
+
+FLAT_SCENARIOS = (
+    "window_filter",
+    "point_filter",
+    "window_org",
+    "point_org",
+)
+"""flat_tree scenario names, in run order (must match the builder)."""
 
 _CALIBRATION_N = 1_000_000
 
@@ -106,6 +126,29 @@ def _time_median(fn: Callable[[], object], repeat: int) -> tuple[float, object]:
 # ----------------------------------------------------------------------
 # scenario construction
 # ----------------------------------------------------------------------
+def _object_point_workload(
+    objects, n_queries: int, seed: int
+) -> list[tuple[float, float]]:
+    """Point queries sampled from actual object coordinates.
+
+    Window centers (the paper's Section 5.5 convention) almost never lie
+    *on* a polyline, so a point workload built from them measures the
+    empty-result path only.  For the benches we instead sample a vertex
+    of a randomly chosen object — every query has at least one answer,
+    so the refinement kernels do real work.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(objects), n_queries)
+    points: list[tuple[float, float]] = []
+    for pick in picks:
+        vertices = objects[int(pick)].geometry.vertices
+        x, y = vertices[int(rng.integers(0, len(vertices)))]
+        points.append((float(x), float(y)))
+    return points
+
+
 def _build_scenarios(scale: float, seed: int, series: str, queries: int):
     """Prepare data and return ``[(name, callable, outcome_fn)]``.
 
@@ -113,10 +156,9 @@ def _build_scenarios(scale: float, seed: int, series: str, queries: int):
     the harness asserts it is identical across kernel modes.
     """
     from repro.data.tiger import generate_map
-    from repro.data.workload import point_workload, window_workload
+    from repro.data.workload import window_workload
     from repro.database import SpatialDatabase
     from repro.eval.config import ExperimentConfig
-    from repro.join.multistep import spatial_join
     from repro.rtree.rstar import RStarTree
     from repro.workload.streams import mixed_stream
 
@@ -126,9 +168,7 @@ def _build_scenarios(scale: float, seed: int, series: str, queries: int):
     windows = window_workload(
         objects, 1e-3, n_queries=queries, seed=config.seed + 7
     )
-    points = point_workload(
-        window_workload(objects, 1e-3, n_queries=queries, seed=config.seed + 9)
-    )
+    points = _object_point_workload(objects, queries, config.seed + 9)
 
     # One shared database pair for the I/O-priced scenarios (built once,
     # under the default kernels; both kernel modes build bit-identical
@@ -193,6 +233,78 @@ def _build_scenarios(scale: float, seed: int, series: str, queries: int):
     ]
 
 
+def _build_flat_scenarios(scale: float, seed: int, series: str, queries: int):
+    """The flat-tree bench: batched filter steps on a bare tree, then
+    the organization-level batch path end-to-end.
+
+    The ``*_org`` outcomes are ``(answers, io_ms)`` tuples compared
+    *exactly* (no rounding) across kernel modes: the vectorized runs go
+    through the flat snapshot and merged per-query access plans, the
+    scalar runs loop the single-query path — so equality certifies the
+    batch path's pricing, not just its result sets.  (The untimed
+    warm-up run leaves the disk head — and the buffer pool — in the
+    same steady state for every timed run, making the sums repeatable.)
+    """
+    from repro.data.tiger import generate_map
+    from repro.data.workload import window_workload
+    from repro.database import SpatialDatabase
+    from repro.eval.config import ExperimentConfig
+    from repro.rtree.rstar import RStarTree
+
+    config = ExperimentConfig(scale=scale, seed=seed)
+    spec = config.spec(series)
+    objects = generate_map(spec, seed=config.seed)
+    windows = window_workload(
+        objects, 1e-3, n_queries=queries, seed=config.seed + 7
+    )
+    points = _object_point_workload(objects, queries, config.seed + 9)
+
+    db = SpatialDatabase(smax_bytes=spec.smax_bytes, name="flat")
+    db.build(objects)
+
+    tree = RStarTree()
+    for obj in objects:
+        tree.insert(obj.oid, obj.mbr)
+    tree.flat_snapshot()  # build once, outside the timed region
+
+    def window_filter():
+        return sum(len(r) for r in tree.window_query_batch(windows))
+
+    def point_filter():
+        return sum(len(r) for r in tree.point_query_batch(points))
+
+    def window_org():
+        answers = 0
+        io_ms = 0.0
+        for result in db.storage.window_query_batch(windows):
+            answers += len(result.objects)
+            io_ms += result.io.total_ms
+        return (answers, io_ms)
+
+    def point_org():
+        answers = 0
+        io_ms = 0.0
+        for result in db.storage.point_query_batch(points):
+            answers += len(result.objects)
+            io_ms += result.io.total_ms
+        return (answers, io_ms)
+
+    identity = lambda outcome: outcome  # noqa: E731
+    return [
+        ("window_filter", window_filter, identity),
+        ("point_filter", point_filter, identity),
+        ("window_org", window_org, identity),
+        ("point_org", point_org, identity),
+    ]
+
+
+BENCHES: dict = {
+    "query_kernels": (SCENARIOS, _build_scenarios, "query-kernel"),
+    "flat_tree": (FLAT_SCENARIOS, _build_flat_scenarios, "flat-tree"),
+}
+"""Bench name -> (scenario names, builder, report-title prefix)."""
+
+
 # ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
@@ -203,23 +315,29 @@ def run_bench(
     queries: int = 300,
     repeat: int = 5,
     only: list[str] | None = None,
+    bench: str = BENCH_NAME,
 ) -> dict:
     """Measure every scenario under both kernel modes; returns the
     JSON-ready result document."""
+    if bench not in BENCHES:
+        raise ValueError(
+            f"unknown bench '{bench}'; valid: {list(BENCHES)}"
+        )
+    names, builder, _title = BENCHES[bench]
     if only:
-        unknown = [name for name in only if name not in SCENARIOS]
+        unknown = [name for name in only if name not in names]
         if unknown:
             raise ValueError(
-                f"unknown bench scenarios {unknown}; valid: {list(SCENARIOS)}"
+                f"unknown bench scenarios {unknown}; valid: {list(names)}"
             )
     calibration_s = calibrate()
-    scenarios = _build_scenarios(scale, seed, series, queries)
-    assert tuple(s[0] for s in scenarios) == SCENARIOS
+    scenarios = builder(scale, seed, series, queries)
+    assert tuple(s[0] for s in scenarios) == names
     if only:
         scenarios = [s for s in scenarios if s[0] in only]
 
     doc: dict = {
-        "name": BENCH_NAME,
+        "name": bench,
         "created_unix": int(time.time()),
         "config": {
             "scale": scale,
@@ -290,10 +408,11 @@ def format_report(doc: dict) -> str:
         )
         for name, s in doc["scenarios"].items()
     ]
+    prefix = BENCHES.get(doc["name"], (None, None, doc["name"]))[2]
     return format_table(
         ("scenario", "vectorized ms", "scalar ms", "speedup", "normalized"),
         rows,
-        title=f"query-kernel wall clock (median of {doc['config']['repeat']}, "
+        title=f"{prefix} wall clock (median of {doc['config']['repeat']}, "
         f"calibration {doc['machine']['calibration_s'] * 1000:.1f} ms)",
     )
 
@@ -302,7 +421,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval bench",
         description="Time the vectorized query kernels against the "
-        "scalar fallback and write BENCH_query_kernels.json.",
+        "scalar fallback and write BENCH_<bench>.json.",
+    )
+    parser.add_argument(
+        "--bench", type=str, default=BENCH_NAME, choices=sorted(BENCHES),
+        help=f"which bench to run (default {BENCH_NAME})",
     )
     parser.add_argument(
         "--scale", type=float, default=0.05,
@@ -326,8 +449,8 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated scenario names to run",
     )
     parser.add_argument(
-        "--output", type=str, default=DEFAULT_OUTPUT, metavar="PATH",
-        help=f"result JSON path (default {DEFAULT_OUTPUT})",
+        "--output", type=str, default=None, metavar="PATH",
+        help="result JSON path (default BENCH_<bench>.json)",
     )
     args = parser.parse_args(argv)
     if args.repeat < 1:
@@ -337,6 +460,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.only
         else None
     )
+    output = args.output or f"BENCH_{args.bench}.json"
 
     try:
         doc = run_bench(
@@ -346,12 +470,13 @@ def main(argv: list[str] | None = None) -> int:
             queries=args.queries,
             repeat=args.repeat,
             only=only,
+            bench=args.bench,
         )
     except ValueError as exc:
         parser.error(str(exc))
     print(format_report(doc))
-    write_json(doc, args.output)
-    print(f"\n[bench: wrote {args.output}]")
+    write_json(doc, output)
+    print(f"\n[bench: wrote {output}]")
     return 0
 
 

@@ -327,6 +327,36 @@ class ClusterOrganization(SpatialOrganization):
         avg_size = self._total_object_bytes / count
         return avg_size / self.page_size + 0.5
 
+    def _plan_group(
+        self,
+        plan: AccessPlan,
+        leaf: Node,
+        entries: list[Entry],
+        window: Rect | None,
+        selective: bool,
+        candidates: list[SpatialObject],
+    ) -> None:
+        """Schedule one data-page group onto ``plan`` — oversize extents
+        first, then the cluster unit under the configured technique —
+        appending the candidate objects in request order."""
+        in_unit: list[int] = []
+        for entry in entries:
+            assert entry.oid is not None
+            extent = self._oversize.get(entry.oid)
+            if extent is not None:
+                plan.read_extent(extent)
+                candidates.append(self.objects[entry.oid])
+            else:
+                in_unit.append(entry.oid)
+        if in_unit:
+            unit: ClusterUnit | None = leaf.tag
+            if unit is None:
+                raise StorageError(
+                    f"data page {leaf.node_id} has objects but no cluster unit"
+                )
+            self._read_unit(plan, unit, in_unit, leaf, window, selective)
+            candidates.extend(self.objects[oid] for oid in in_unit)
+
     def _retrieve(
         self,
         groups: list[tuple[Node, list[Entry]]],
@@ -334,33 +364,36 @@ class ClusterOrganization(SpatialOrganization):
         window: Rect | None = None,
         selective: bool = False,
     ) -> list[SpatialObject]:
-        """Emit one declarative access plan per data-page group —
-        oversize extents first, then the cluster unit under the
-        configured technique — and submit it to the pool's scheduler.
-        Request order matches the historical imperative chain, so the
-        default sync scheduler prices identically."""
+        """Emit one declarative access plan per data-page group and
+        submit it to the pool's scheduler.  Request order matches the
+        historical imperative chain, so the default sync scheduler
+        prices identically."""
         candidates: list[SpatialObject] = []
         for leaf, entries in groups:
             plan = AccessPlan("cluster.retrieve")
-            in_unit: list[int] = []
-            for entry in entries:
-                assert entry.oid is not None
-                extent = self._oversize.get(entry.oid)
-                if extent is not None:
-                    plan.read_extent(extent)
-                    candidates.append(self.objects[entry.oid])
-                else:
-                    in_unit.append(entry.oid)
-            if in_unit:
-                unit: ClusterUnit | None = leaf.tag
-                if unit is None:
-                    raise StorageError(
-                        f"data page {leaf.node_id} has objects but no cluster unit"
-                    )
-                self._read_unit(plan, unit, in_unit, leaf, window, selective)
-                candidates.extend(self.objects[oid] for oid in in_unit)
+            self._plan_group(plan, leaf, entries, window, selective, candidates)
             if plan:
                 self.pool.submit(plan)
+        return candidates
+
+    def _plan_retrieve(
+        self,
+        plan: AccessPlan,
+        groups: list[tuple[Node, list[Entry]]],
+        result: QueryResult,
+        window: Rect | None = None,
+        selective: bool = False,
+    ) -> list[SpatialObject]:
+        """Batch-path variant: all groups append to the caller's merged
+        plan, same requests in the same order as :meth:`_retrieve` (the
+        technique planners draw chain ids from the shared plan, keeping
+        continuation runs distinct).  The per-group ``plan.extent``
+        prefetch hint degenerates to the last group's unit on a merged
+        plan, which is why the batch path requires a prefetcher-free
+        pool (see ``SpatialOrganization._batchable``)."""
+        candidates: list[SpatialObject] = []
+        for leaf, entries in groups:
+            self._plan_group(plan, leaf, entries, window, selective, candidates)
         return candidates
 
     def _read_unit(

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.constants import PAGE_SIZE
 from repro.geometry.rect import Rect
-from repro.storage.base import SpatialOrganization
+from repro.storage.base import QueryResult, SpatialOrganization
 
 __all__ = ["WorkloadAggregate", "run_window_queries", "run_point_queries"]
 
@@ -42,33 +42,37 @@ class WorkloadAggregate:
         return self.answers / self.queries if self.queries else 0.0
 
 
+def _accumulate(agg: WorkloadAggregate, result: QueryResult) -> None:
+    agg.queries += 1
+    agg.io_ms += result.io.total_ms
+    agg.bytes_retrieved += result.bytes_retrieved
+    agg.answers += len(result.objects)
+    agg.candidates += result.candidates
+    agg.exact_tests += result.exact_tests
+
+
 def run_window_queries(
     org: SpatialOrganization, windows: list[Rect]
 ) -> WorkloadAggregate:
-    """Execute a window workload and aggregate its costs."""
+    """Execute a window workload and aggregate its costs.
+
+    The workload runs through the organization's batch entry point
+    (one flat-tree traversal, merged per-query access plans); the
+    per-query results — and therefore every aggregate — are identical
+    to looping ``window_query`` (the batch path falls back to exactly
+    that whenever it cannot guarantee bit-identical pricing)."""
     agg = WorkloadAggregate()
-    for window in windows:
-        result = org.window_query(window)
-        agg.queries += 1
-        agg.io_ms += result.io.total_ms
-        agg.bytes_retrieved += result.bytes_retrieved
-        agg.answers += len(result.objects)
-        agg.candidates += result.candidates
-        agg.exact_tests += result.exact_tests
+    for result in org.window_query_batch(windows):
+        _accumulate(agg, result)
     return agg
 
 
 def run_point_queries(
     org: SpatialOrganization, points: list[tuple[float, float]]
 ) -> WorkloadAggregate:
-    """Execute a point workload and aggregate its costs."""
+    """Execute a point workload and aggregate its costs (batched like
+    :func:`run_window_queries`)."""
     agg = WorkloadAggregate()
-    for x, y in points:
-        result = org.point_query(x, y)
-        agg.queries += 1
-        agg.io_ms += result.io.total_ms
-        agg.bytes_retrieved += result.bytes_retrieved
-        agg.answers += len(result.objects)
-        agg.candidates += result.candidates
-        agg.exact_tests += result.exact_tests
+    for result in org.point_query_batch(points):
+        _accumulate(agg, result)
     return agg

@@ -31,7 +31,9 @@ __all__ = [
     "segments_intersect",
     "segment_intersects_rect",
     "point_in_polygon",
+    "points_in_polygon",
     "polyline_intersects_rect",
+    "polylines_intersect_rects",
     "polylines_intersect",
     "mbr_intersect_mask",
 ]
@@ -161,6 +163,55 @@ def point_in_polygon(
     return inside
 
 
+def points_in_polygon(
+    xs: Sequence[float] | np.ndarray,
+    ys: Sequence[float] | np.ndarray,
+    vertices: Sequence[tuple[float, float]],
+) -> np.ndarray:
+    """Batched :func:`point_in_polygon`: ``out[k]`` equals
+    ``point_in_polygon(xs[k], ys[k], vertices)`` for every ``k``.
+
+    The vectorized path broadcasts the crossing-number test over a
+    ``(points, edges)`` grid with the identical float64 arithmetic,
+    ``_EPS`` thresholds and boundary convention as the scalar loop
+    (boundary points are inside; crossing parity decides the rest —
+    the scalar early-return on a boundary edge only short-circuits an
+    answer that is True either way).  Small batches and the
+    ``REPRO_SCALAR_KERNELS`` mode run the scalar loop point by point.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    n_points = len(xs)
+    n_edges = len(vertices)
+    if n_edges < 3 or n_points == 0:
+        return np.zeros(n_points, dtype=bool)
+    if not kernels.vectorized() or n_points * n_edges < _VECTOR_MIN_CELLS:
+        return np.fromiter(
+            (
+                point_in_polygon(float(x), float(y), vertices)
+                for x, y in zip(xs, ys)
+            ),
+            dtype=bool,
+            count=n_points,
+        )
+    ring = np.asarray(vertices, dtype=np.float64)
+    closing = np.roll(ring, -1, axis=0)  # edge i: ring[i] -> ring[i+1 mod n]
+    ax, ay = ring[None, :, 0], ring[None, :, 1]
+    bx, by = closing[None, :, 0], closing[None, :, 1]
+    px, py = xs[:, None], ys[:, None]
+    on_edge = (_orientation_mask(ax, ay, bx, by, px, py) == 0) & (
+        _on_segment_mask(ax, ay, bx, by, px, py)
+    )
+    crossing = (ay > py) != (by > py)
+    # Horizontal edges never satisfy ``crossing`` but still divide by
+    # zero on the broadcast grid; their lanes are masked out below.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x_cross = ax + (py - ay) * (bx - ax) / (by - ay)
+        toggles = crossing & (px < x_cross)
+    inside = (toggles.sum(axis=1) & 1).astype(bool)
+    return on_edge.any(axis=1) | inside
+
+
 def polyline_intersects_rect(
     vertices: Sequence[tuple[float, float]],
     rect: Rect,
@@ -184,6 +235,107 @@ def polyline_intersects_rect(
         if segment_intersects_rect(vertices[i], vertices[i + 1], rect):
             return True
     return False
+
+
+def polylines_intersect_rects(
+    coords_list: Sequence[np.ndarray],
+    rects: Sequence[tuple[float, float, float, float]] | np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`polyline_intersects_rect` over *independent* pairs:
+    ``out[k]`` is True iff polyline ``coords_list[k]`` (an ``(n_k, 2)``
+    float64 vertex matrix) shares a point with rectangle ``rects[k]``
+    (an ``(xmin, ymin, xmax, ymax)`` row).
+
+    This is the window-refinement hot path batched **across objects and
+    queries at once**: typical map polylines have only a handful of
+    segments, far below the per-call vectorization crossover, so the
+    per-object kernel degenerates to the scalar loop — concatenating
+    every pending ``(candidate, window)`` test of a whole query batch
+    into one segment array amortizes the numpy dispatch instead.  The
+    arithmetic mirrors the scalar path exactly (same vertex-inside
+    accept, same closed per-segment MBR pretest, same ``_EPS`` edge
+    tests against the same corner cycle), so the booleans agree on
+    every input, boundary cases included.
+    """
+    n = len(coords_list)
+    out = np.zeros(n, dtype=bool)
+    if n == 0:
+        return out
+    rects = np.asarray(rects, dtype=np.float64).reshape(n, 4)
+    counts = np.fromiter((len(c) for c in coords_list), dtype=np.int64, count=n)
+    total_cells = 4 * int(np.maximum(counts - 1, 0).sum())
+    if not kernels.vectorized() or total_cells < _VECTOR_MIN_CELLS:
+        for k, coords in enumerate(coords_list):
+            out[k] = polyline_intersects_rect(coords, Rect(*rects[k]))
+        return out
+    pts = np.concatenate(coords_list).reshape(-1, 2).astype(np.float64, copy=False)
+    owner = np.repeat(np.arange(n), counts)
+    starts = np.cumsum(counts) - counts
+    vrect = rects[owner]
+    inside = (
+        (vrect[:, 0] <= pts[:, 0])
+        & (pts[:, 0] <= vrect[:, 2])
+        & (vrect[:, 1] <= pts[:, 1])
+        & (pts[:, 1] <= vrect[:, 3])
+    )
+    np.logical_or.reduceat(inside, starts, out=out)
+    # Segment rows: consecutive vertices belonging to the same polyline.
+    seg = (owner[:-1] == owner[1:]).nonzero()[0]
+    seg = seg[~out[owner[seg]]]  # vertex-inside already decided those
+    if not len(seg):
+        return out
+    seg_owner = owner[seg]
+    a0, a1 = pts[seg], pts[seg + 1]
+    r = rects[seg_owner]
+    # The scalar path's per-segment MBR pretest (closed comparisons).
+    mbr_ok = (
+        (np.minimum(a0[:, 0], a1[:, 0]) <= r[:, 2])
+        & (r[:, 0] <= np.maximum(a0[:, 0], a1[:, 0]))
+        & (np.minimum(a0[:, 1], a1[:, 1]) <= r[:, 3])
+        & (r[:, 1] <= np.maximum(a0[:, 1], a1[:, 1]))
+    )
+    if not mbr_ok.any():
+        return out
+    seg_owner = seg_owner[mbr_ok]
+    a0, a1, r = a0[mbr_ok], a1[mbr_ok], r[mbr_ok]
+    ax, ay = a0[:, 0, None], a0[:, 1, None]
+    bx, by = a1[:, 0, None], a1[:, 1, None]
+    # The rectangle edge cycle of Rect.corners(): counter-clockwise
+    # from (xmin, ymin) — identical operand order to the scalar tests.
+    cx = np.stack([r[:, 0], r[:, 2], r[:, 2], r[:, 0]], axis=1)
+    cy = np.stack([r[:, 1], r[:, 1], r[:, 3], r[:, 3]], axis=1)
+    dx = np.stack([r[:, 2], r[:, 2], r[:, 0], r[:, 0]], axis=1)
+    dy = np.stack([r[:, 1], r[:, 3], r[:, 3], r[:, 1]], axis=1)
+    block = max(1, _BLOCK_CELLS // 4)
+    for lo in range(0, len(a0), block):
+        hi = lo + block
+        o1 = _orientation_mask(
+            ax[lo:hi], ay[lo:hi], bx[lo:hi], by[lo:hi], cx[lo:hi], cy[lo:hi]
+        )
+        o2 = _orientation_mask(
+            ax[lo:hi], ay[lo:hi], bx[lo:hi], by[lo:hi], dx[lo:hi], dy[lo:hi]
+        )
+        o3 = _orientation_mask(
+            cx[lo:hi], cy[lo:hi], dx[lo:hi], dy[lo:hi], ax[lo:hi], ay[lo:hi]
+        )
+        o4 = _orientation_mask(
+            cx[lo:hi], cy[lo:hi], dx[lo:hi], dy[lo:hi], bx[lo:hi], by[lo:hi]
+        )
+        hit = (o1 != o2) & (o3 != o4)
+        hit |= (o1 == 0) & _on_segment_mask(
+            ax[lo:hi], ay[lo:hi], bx[lo:hi], by[lo:hi], cx[lo:hi], cy[lo:hi]
+        )
+        hit |= (o2 == 0) & _on_segment_mask(
+            ax[lo:hi], ay[lo:hi], bx[lo:hi], by[lo:hi], dx[lo:hi], dy[lo:hi]
+        )
+        hit |= (o3 == 0) & _on_segment_mask(
+            cx[lo:hi], cy[lo:hi], dx[lo:hi], dy[lo:hi], ax[lo:hi], ay[lo:hi]
+        )
+        hit |= (o4 == 0) & _on_segment_mask(
+            cx[lo:hi], cy[lo:hi], dx[lo:hi], dy[lo:hi], bx[lo:hi], by[lo:hi]
+        )
+        out[seg_owner[lo:hi][hit.any(axis=1)]] = True
+    return out
 
 
 def polylines_intersect(

@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import GeometryError
 from repro.geometry.intersect import (
     point_in_polygon,
+    points_in_polygon,
     polyline_intersects_rect,
     polylines_intersect,
 )
@@ -97,6 +98,28 @@ class Polygon:
         if not self.mbr.contains_point(x, y):
             return False
         return point_in_polygon(x, y, self.vertices)
+
+    def contains_points(self, xs, ys) -> np.ndarray:
+        """Batched :meth:`contains_point` over parallel coordinate
+        arrays — the batch point-query refinement path tests all query
+        points against one polygon at once.  Element ``k`` equals
+        ``contains_point(xs[k], ys[k])`` exactly: the same MBR pretest
+        gates the same ray-casting arithmetic
+        (:func:`~repro.geometry.intersect.points_in_polygon`)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        mbr = self.mbr
+        out = np.zeros(len(xs), dtype=bool)
+        in_mbr = (
+            (mbr.xmin <= xs)
+            & (xs <= mbr.xmax)
+            & (mbr.ymin <= ys)
+            & (ys <= mbr.ymax)
+        )
+        if in_mbr.any():
+            idx = in_mbr.nonzero()[0]
+            out[idx] = points_in_polygon(xs[idx], ys[idx], self.vertices)
+        return out
 
     def intersects_rect(self, rect: Rect) -> bool:
         """True if the polygon (interior or boundary) shares a point with

@@ -53,6 +53,15 @@ class ObjectTransfer:
     technique:
         Cluster-unit transfer technique (ignored for the secondary and
         primary organizations, which have no units to batch).
+    grouped:
+        Whether :meth:`fetch_group` declares each group's transfers as
+        one scheduler *operation* (an ``operation()`` scope on an
+        overlapping scheduler, letting the whole group's plans dispatch
+        against one virtual-clock window).  ``True`` forces grouping,
+        ``False`` disables it, and the default ``None`` groups only when
+        the pool's scheduler supports scopes *and* no enclosing scope is
+        already open (the workload engine wraps whole join operations in
+        its own scope — nesting another would shift its timing).
     """
 
     def __init__(
@@ -61,6 +70,7 @@ class ObjectTransfer:
         pool: BufferPool | DiskModel,
         buffer: ReplacementPolicy | None = None,
         technique: str = "complete",
+        grouped: bool | None = None,
     ):
         if technique not in JOIN_TECHNIQUES:
             raise ConfigurationError(
@@ -72,15 +82,41 @@ class ObjectTransfer:
         else:
             self.pool = BufferPool(pool, store=buffer)
         self.technique = technique
+        self.grouped = grouped
         self.object_requests = 0
         self.buffer_hits = 0
         # technique == "optimum": pages already charged, per unit extent.
         self._optimum_pages: dict[int, set[int]] = {}
 
     # ------------------------------------------------------------------
+    def _operation(self):
+        """The scheduler's ``operation`` scope for one fetched group, or
+        ``None`` when grouping is off / unsupported / already active."""
+        if self.grouped is False:
+            return None
+        scheduler = getattr(self.pool, "scheduler", None)
+        operation = getattr(scheduler, "operation", None)
+        if operation is None:
+            return None
+        if self.grouped is None and getattr(scheduler, "_scope", None) is not None:
+            return None
+        return operation
+
     def fetch_group(self, leaf: Node, entries: list[Entry]) -> None:
         """Make the exact representations of the given data entries
-        memory-resident, pricing all disk traffic."""
+        memory-resident, pricing all disk traffic.
+
+        On an overlapping scheduler the group's plans are scheduled as
+        one operation (see ``grouped``), so candidate-object fetches for
+        one leaf pair dispatch as a batch instead of one-at-a-time."""
+        operation = self._operation()
+        if operation is not None:
+            with operation("join.transfer"):
+                self._dispatch(leaf, entries)
+        else:
+            self._dispatch(leaf, entries)
+
+    def _dispatch(self, leaf: Node, entries: list[Entry]) -> None:
         oids: list[int] = []
         seen: set[int] = set()
         for entry in entries:

@@ -105,6 +105,22 @@ class NodePager:
             return
         self.pool.submit(AccessPlan("node.read").get(node.page))
 
+    def plan_reads(self, nodes: list[Node], plan: AccessPlan) -> None:
+        """Append the priced ``get`` requests :meth:`read` would issue
+        for ``nodes`` (in order) onto one shared ``plan`` — the batch
+        query path merges a query's node reads and object retrieval
+        into a single access plan.  Skips exactly what :meth:`read`
+        skips; under the sync scheduler the pricing is identical to
+        per-node ``read`` calls because plan boundaries do not affect
+        request-level pricing."""
+        directory_resident = self.directory_resident
+        for node in nodes:
+            if node.page is None:
+                continue
+            if directory_resident and node.level >= 1:
+                continue
+            plan.get(node.page)
+
     def write(self, node: Node) -> None:
         """Price writing the node's page (caching pools defer to
         eviction / flush)."""

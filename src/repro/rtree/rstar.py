@@ -35,6 +35,13 @@ from repro.geometry.rect import Rect
 from repro.rtree.capacity import ByteCapacity, CountCapacity, CountOrByteCapacity
 from repro.rtree.chooser import least_area_enlargement, least_overlap_enlargement
 from repro.rtree.entry import Entry
+from repro.rtree.flat import (
+    FlatBatch,
+    FlatTree,
+    build_flat,
+    flat_point_query_batch,
+    flat_window_query_batch,
+)
 from repro.rtree.node import Node
 from repro.rtree.pager import NodePager
 from repro.rtree.split import rstar_split
@@ -104,6 +111,11 @@ class RStarTree:
         self.entry_added_handler = entry_added_handler
 
         self._next_node_id = 0
+        # Structural generation counter: bumped by the public mutators
+        # (insert/delete cover every split, reinsert and condensation),
+        # so the flat snapshot can invalidate lazily.
+        self._generation = 0
+        self._flat: FlatTree | None = None
         self.root = self._new_node(0)
         self.size = 0
         self.height = 1
@@ -157,6 +169,7 @@ class RStarTree:
         """Insert a data entry; returns the (mutable) stored entry."""
         entry = Entry(rect, oid=oid, load=load, payload=payload)
         self._overflowed_levels = set()
+        self._generation += 1
         self._insert(entry, 0)
         self.size += 1
         return entry
@@ -323,6 +336,7 @@ class RStarTree:
         found = self._find_leaf(self.root, oid, rect)
         if found is None:
             raise KeyError(f"no entry with oid={oid} and rect={rect.as_tuple()}")
+        self._generation += 1
         leaf, entry = found
         leaf.remove(entry)
         self._write(leaf)
@@ -418,86 +432,123 @@ class RStarTree:
                     stack.append(child)
         return result
 
-    def window_query_batch(self, windows: list[Rect]) -> list[list[Entry]]:
-        """Run many window queries through **one shared traversal**.
+    # ------------------------------------------------------------------
+    # flat snapshot (structure-of-arrays form, repro.rtree.flat)
+    # ------------------------------------------------------------------
+    def flat_snapshot(self) -> FlatTree:
+        """The structure-of-arrays snapshot of this tree, rebuilt lazily
+        when the generation counter says the structure changed."""
+        flat = self._flat
+        if flat is None or flat.generation != self._generation:
+            flat = build_flat(self)
+            self._flat = flat
+        return flat
 
-        Per visited node, a single ``(n, q_active)`` broadcast mask
-        filters the entries for every query still alive in the subtree
-        — the batched form of :meth:`window_query` that amortises the
-        per-node kernel overhead over the whole batch.
+    def window_query_batch(self, windows: list[Rect]) -> list[list[Entry]]:
+        """Run many window queries through **one whole-tree traversal**
+        over the flat snapshot (:mod:`repro.rtree.flat`): one broadcast
+        mask per tree level instead of per-node Python recursion.
 
         Equivalence contract: ``window_query_batch(ws)[i]`` is exactly
-        ``window_query(ws[i])`` — same entries, same order (the shared
-        traversal expands children in the same reverse-entry-order DFS,
-        so every query sees its private visit order).  Each visited
-        page is read once per query that reaches it, so the read
-        *multiset* matches per-query execution; a stateful pager may
-        price the interleaved seek order differently.  The scalar
-        fallback simply loops the per-query scalar path.
+        ``window_query(ws[i])`` — same entries, same order — *and* the
+        pages are read per query in the exact single-query visit order
+        (the flat traversal's DFS ranks reproduce it), so a stateful
+        pager prices the batch identically to running the queries one
+        at a time.  The scalar fallback simply loops the per-query
+        scalar path.
         """
         if not windows:
             return []
         if not kernels.vectorized():
             return [self._window_query_scalar(w) for w in windows]
-        qmat = np.array(
-            [(w.xmax, w.ymax, -w.xmin, -w.ymin) for w in windows],
-            dtype=np.float64,
-        )
-        return self._query_batch(qmat)
+        flat = self.flat_snapshot()
+        batch = flat_window_query_batch(flat, windows)
+        self._replay_reads(flat, batch)
+        return batch.hit_entry_lists()
 
     def point_query_batch(
         self, points: list[tuple[float, float]]
     ) -> list[list[Entry]]:
-        """Run many point queries through one shared traversal; element
-        ``i`` equals ``point_query(*points[i])`` exactly (a point is a
-        degenerate window, so the same one-sided comparison applies)."""
+        """Run many point queries through one whole-tree traversal over
+        the flat snapshot; element ``i`` equals ``point_query(*points[i])``
+        exactly (a point is a degenerate window, so the same one-sided
+        comparison applies), with per-query reads in single-query order."""
         if not points:
             return []
         if not kernels.vectorized():
             return [self._point_query_scalar(x, y) for x, y in points]
-        qmat = np.array(
-            [(x, y, -x, -y) for x, y in points], dtype=np.float64
-        )
-        return self._query_batch(qmat)
+        flat = self.flat_snapshot()
+        batch = flat_point_query_batch(flat, points)
+        self._replay_reads(flat, batch)
+        return batch.hit_entry_lists()
 
-    def _query_batch(self, qmat: np.ndarray) -> list[list[Entry]]:
-        results: list[list[Entry]] = [[] for _ in range(len(qmat))]
-        stack: list[tuple[Node, np.ndarray]] = [
-            (self.root, np.arange(len(qmat)))
-        ]
-        while stack:
-            node, active = stack.pop()
-            if self.pager is not None:
-                # One read per query that reaches this node — the same
-                # read multiset as running the queries one at a time.
-                for _ in range(len(active)):
-                    self.pager.read(node)
-            if not node.entries:
-                continue
-            # hits[i, j]: entry i matches active query j.
-            hits = (
-                node.query_matrix()[:, None, :] <= qmat[active][None, :, :]
-            ).all(axis=2)
-            entries = node.entries
-            if node.is_leaf:
-                # One nonzero over the transposed mask yields the hit
-                # pairs grouped by query, entries ascending within each
-                # group — the per-query legacy order.
-                qs, es = hits.T.nonzero()
-                current: list[Entry] | None = None
-                previous = -1
-                for j, i in zip(qs.tolist(), es.tolist()):
-                    if j != previous:
-                        current = results[int(active[j])]
-                        previous = j
-                    assert current is not None
-                    current.append(entries[i])
-            else:
-                for i in hits.any(axis=1).nonzero()[0].tolist():
-                    child = entries[i].child
-                    assert child is not None
-                    stack.append((child, active[hits[i]]))
-        return results
+    def _replay_reads(self, flat: FlatTree, batch: FlatBatch) -> None:
+        """Price the batch's page reads query by query, each query's
+        visited nodes in DFS-rank (= single-query) order."""
+        pager = self.pager
+        if pager is None:
+            return
+        nodes = flat.nodes
+        read = pager.read
+        for i in range(batch.n_queries):
+            for nid in batch.visits(i).tolist():
+                read(nodes[nid])
+
+    def window_leaves_batch(
+        self, windows: list[Rect]
+    ) -> tuple[FlatTree, list[tuple[list[Node], list[tuple[Node, list[Entry]]], np.ndarray]]] | None:
+        """Batched, *unpriced* form of :meth:`window_leaves`: per query a
+        triple ``(visited_nodes, groups, hit_entry_ids)`` where
+        ``visited_nodes`` is the exact page-visit order, ``groups``
+        equals ``window_leaves(window)`` and ``hit_entry_ids`` indexes
+        the snapshot's entry arrays (for vectorized refinement).
+
+        The caller prices the visits itself (the organizations merge
+        them into their per-query access plans).  Returns ``None`` in
+        scalar-kernel mode — callers fall back to the single-query path.
+        """
+        if not kernels.vectorized():
+            return None
+        flat = self.flat_snapshot()
+        batch = flat_window_query_batch(flat, windows)
+        return flat, self._group_batch(flat, batch)
+
+    def point_leaves_batch(
+        self, points: list[tuple[float, float]]
+    ) -> tuple[FlatTree, list[tuple[list[Node], list[tuple[Node, list[Entry]]], np.ndarray]]] | None:
+        """Point-query counterpart of :meth:`window_leaves_batch` (the
+        single-query path runs ``window_leaves`` on a degenerate rect)."""
+        if not kernels.vectorized():
+            return None
+        flat = self.flat_snapshot()
+        batch = flat_point_query_batch(flat, points)
+        return flat, self._group_batch(flat, batch)
+
+    @staticmethod
+    def _group_batch(flat: FlatTree, batch: FlatBatch):
+        nodes = flat.nodes
+        entries = flat.entries
+        per_query = []
+        for i in range(batch.n_queries):
+            visited = [nodes[n] for n in batch.visits(i).tolist()]
+            hit = batch.hits(i)
+            groups: list[tuple[Node, list[Entry]]] = []
+            bucket: list[Entry] | None = None
+            previous = -1
+            # Hits are sorted by global entry id, so owners come in
+            # nondecreasing runs — one run per matched leaf, in visit
+            # order, entries ascending within it (= window_leaves).
+            for e, owner in zip(
+                hit.tolist(), batch.hit_owners(i).tolist()
+            ):
+                if owner != previous:
+                    bucket = []
+                    groups.append((nodes[owner], bucket))
+                    previous = owner
+                assert bucket is not None
+                bucket.append(entries[e])
+            per_query.append((visited, groups, hit))
+        return per_query
 
     def _window_query_scalar(self, window: Rect) -> list[Entry]:
         result: list[Entry] = []

@@ -31,7 +31,12 @@ from repro.disk.allocator import PageAllocator
 from repro.disk.model import DiskModel, DiskStats
 from repro.errors import StorageError
 from repro.geometry.feature import SpatialObject
+from repro.geometry.intersect import polylines_intersect_rects
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
 from repro.geometry.rect import Rect
+from repro.iosched.request import AccessPlan
+from repro.iosched.scheduler import SyncScheduler
 from repro.rtree.pager import NodePager
 from repro.rtree.rstar import RStarTree
 
@@ -183,6 +188,23 @@ class SpatialOrganization(abc.ABC):
         """
 
     @abc.abstractmethod
+    def _plan_retrieve(
+        self,
+        plan: AccessPlan,
+        groups: list,
+        result: QueryResult,
+        window: Rect,
+        selective: bool = False,
+    ) -> list[SpatialObject]:
+        """Like :meth:`_retrieve`, but append the transfer requests to
+        the caller's ``plan`` instead of submitting plans — the batch
+        query path merges a query's node reads and object retrieval
+        into one access plan.  Request order must match
+        :meth:`_retrieve` exactly (plan boundaries do not affect the
+        sync scheduler's pricing, so the merged plan prices
+        identically)."""
+
+    @abc.abstractmethod
     def occupied_pages(self) -> int:
         """Total pages bound by the organization (Figure 6's metric)."""
 
@@ -311,6 +333,196 @@ class SpatialOrganization(abc.ABC):
                 result.objects.append(obj)
         result.io = self.disk.stats() - before
         return result
+
+    # ------------------------------------------------------------------
+    # batched queries (whole-tree flat traversal + merged access plans)
+    # ------------------------------------------------------------------
+    def _batchable(self) -> bool:
+        """True when the merged-plan batch path prices bit-identically
+        to per-query execution: the measurement-mode pager must share
+        this organization's pool, the scheduler must be the plain sync
+        scheduler (plan boundaries are pricing-neutral there; the
+        overlap scheduler dispatches per plan on the virtual clock),
+        and no prefetcher may be consulted per plan."""
+        pager = self.tree.pager
+        if pager is not self._query_pager or pager.pool is not self.pool:
+            return False
+        pool = self.pool
+        if getattr(pool, "prefetcher", None) is not None:
+            return False
+        # Exact type check: OverlapScheduler subclasses SyncScheduler.
+        return type(getattr(pool, "scheduler", None)) is SyncScheduler
+
+    def window_query_batch(self, windows: list[Rect]) -> list[QueryResult]:
+        """Run a window workload through the flat batch path: one
+        whole-tree traversal filters all queries at once, then each
+        query submits a *single* merged access plan (its node reads
+        followed by its object transfers) and refines with vectorized
+        containment masks.
+
+        Element ``i`` equals ``window_query(windows[i])`` exactly —
+        answers, candidate counts and per-query I/O statistics — the
+        queries just spend far less Python time getting there.  When
+        the flat path cannot guarantee that (scalar-kernel mode, a
+        swapped-in caching/prefetching pool, a non-sync scheduler), the
+        workload falls back to looping :meth:`window_query`.
+        """
+        batched = (
+            self.tree.window_leaves_batch(windows)
+            if windows and self._batchable()
+            else None
+        )
+        if batched is None:
+            return [self.window_query(window) for window in windows]
+        flat, per_query = batched
+        entry_rect = flat.entry_rect
+        entry_oid = flat.entry_oid
+        results: list[QueryResult] = []
+        assembly: list[tuple[QueryResult, list[SpatialObject], list]] = []
+        # Exact polyline tests deferred across the *whole batch*: map
+        # polylines have a handful of segments each, far below the
+        # per-call vectorization crossover, so only the cross-query
+        # concatenation makes the refinement kernel pay off.
+        line_coords: list = []
+        line_rects: list[tuple[float, float, float, float]] = []
+        line_sinks: list[tuple[list, int]] = []
+        for window, (visited, groups, hit_rows) in zip(windows, per_query):
+            result = QueryResult()
+            before = self.disk.stats()
+            plan = AccessPlan(f"{self.name}.retrieve")
+            self._query_pager.plan_reads(visited, plan)
+            candidates = self._plan_retrieve(
+                plan, groups, result, window, selective=False
+            )
+            if plan:
+                self.pool.submit(plan)
+            result.candidates = len(candidates)
+            result.bytes_retrieved = sum(o.size_bytes for o in candidates)
+            # Refinement is pure CPU — zero disk traffic — so taking
+            # the stats diff before it matches window_query exactly.
+            result.io = self.disk.stats() - before
+            if len(hit_rows):
+                rects = entry_rect[hit_rows]
+                # Vectorized Rect.contains: data-entry rects are the
+                # objects' MBRs (they never mutate after insertion).
+                inside = (
+                    (window.xmin <= rects[:, 0])
+                    & (window.ymin <= rects[:, 1])
+                    & (rects[:, 2] <= window.xmax)
+                    & (rects[:, 3] <= window.ymax)
+                )
+                contained = dict(
+                    zip(entry_oid[hit_rows].tolist(), inside.tolist())
+                )
+            else:
+                contained = {}
+            decisions: list = []
+            for obj in candidates:
+                if contained[obj.oid]:
+                    decisions.append(True)
+                    continue
+                result.exact_tests += 1
+                geometry = obj.geometry
+                if isinstance(geometry, Polyline) and len(geometry.vertices) > 1:
+                    decisions.append(None)
+                    line_sinks.append((decisions, len(decisions) - 1))
+                    line_coords.append(geometry.coords())
+                    line_rects.append(
+                        (window.xmin, window.ymin, window.xmax, window.ymax)
+                    )
+                else:
+                    decisions.append(obj.intersects_rect(window))
+            assembly.append((result, candidates, decisions))
+            results.append(result)
+        if line_coords:
+            verdicts = polylines_intersect_rects(line_coords, line_rects)
+            for (decisions, slot), verdict in zip(line_sinks, verdicts):
+                decisions[slot] = bool(verdict)
+        for result, candidates, decisions in assembly:
+            result.objects.extend(
+                obj for obj, keep in zip(candidates, decisions) if keep
+            )
+        return results
+
+    def point_query_batch(
+        self, points: list[tuple[float, float]]
+    ) -> list[QueryResult]:
+        """Batched point queries; element ``i`` equals
+        ``point_query(*points[i])`` exactly.  Beyond the shared flat
+        traversal and merged per-query plans, the refinement step
+        defers all polygon membership tests (one
+        :meth:`~repro.geometry.polygon.Polygon.contains_points` batch
+        per distinct polygon) and all polyline hit tests (one
+        :func:`~repro.geometry.intersect.polylines_intersect_rects`
+        batch over every pending pair — a point test is a degenerate
+        rect intersection); other geometries keep their scalar
+        predicate.
+        """
+        batched = (
+            self.tree.point_leaves_batch(points)
+            if points and self._batchable()
+            else None
+        )
+        if batched is None:
+            return [self.point_query(x, y) for x, y in points]
+        _flat, per_query = batched
+        pending: list[tuple[QueryResult, list[SpatialObject], list[bool]]] = []
+        # obj.oid -> (polygon, xs, ys, decision sinks): one batched
+        # membership test per distinct polygon across the whole batch.
+        poly_tests: dict[
+            int, tuple[Polygon, list[float], list[float], list[tuple[list[bool], int]]]
+        ] = {}
+        line_coords: list = []
+        line_rects: list[tuple[float, float, float, float]] = []
+        line_sinks: list[tuple[list[bool], int]] = []
+        for (x, y), (visited, groups, _hit_rows) in zip(points, per_query):
+            result = QueryResult()
+            before = self.disk.stats()
+            point = Rect(x, y, x, y)
+            plan = AccessPlan(f"{self.name}.retrieve")
+            self._query_pager.plan_reads(visited, plan)
+            candidates = self._plan_retrieve(
+                plan, groups, result, point, selective=True
+            )
+            if plan:
+                self.pool.submit(plan)
+            result.candidates = len(candidates)
+            result.bytes_retrieved = sum(o.size_bytes for o in candidates)
+            result.io = self.disk.stats() - before
+            decisions = [False] * len(candidates)
+            for slot, obj in enumerate(candidates):
+                geometry = obj.geometry
+                if isinstance(geometry, Polygon):
+                    test = poly_tests.get(obj.oid)
+                    if test is None:
+                        test = (geometry, [], [], [])
+                        poly_tests[obj.oid] = test
+                    test[1].append(x)
+                    test[2].append(y)
+                    test[3].append((decisions, slot))
+                elif isinstance(geometry, Polyline) and len(geometry.vertices) > 1:
+                    line_sinks.append((decisions, slot))
+                    line_coords.append(geometry.coords())
+                    line_rects.append((x, y, x, y))
+                else:
+                    decisions[slot] = obj.contains_point(x, y)
+            pending.append((result, candidates, decisions))
+        if line_coords:
+            verdicts = polylines_intersect_rects(line_coords, line_rects)
+            for (decisions, slot), verdict in zip(line_sinks, verdicts):
+                decisions[slot] = bool(verdict)
+        for geometry, xs, ys, sinks in poly_tests.values():
+            verdicts = geometry.contains_points(xs, ys)
+            for (decisions, slot), verdict in zip(sinks, verdicts.tolist()):
+                decisions[slot] = verdict
+        results: list[QueryResult] = []
+        for result, candidates, decisions in pending:
+            result.exact_tests += len(candidates)
+            result.objects.extend(
+                obj for obj, keep in zip(candidates, decisions) if keep
+            )
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------
     # buffer-pool wiring

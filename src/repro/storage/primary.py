@@ -67,8 +67,9 @@ class PrimaryOrganization(SpatialOrganization):
         return extent
 
     # ------------------------------------------------------------------
-    def _retrieve(
+    def _plan_retrieve(
         self,
+        plan: AccessPlan,
         groups: list[tuple[Node, list[Entry]]],
         result: QueryResult,
         window=None,
@@ -77,10 +78,8 @@ class PrimaryOrganization(SpatialOrganization):
         """Inline candidates arrived with their data page (already priced
         by the filter step); each overflow candidate costs an extra read
         request — the effect behind the primary organization's poor
-        point-query behaviour for large objects (Figure 12).  Overflow
-        requests are declared as one access plan per query."""
+        point-query behaviour for large objects (Figure 12)."""
         candidates: list[SpatialObject] = []
-        plan = AccessPlan("primary.retrieve")
         for _leaf, entries in groups:
             for entry in entries:
                 assert entry.oid is not None
@@ -88,6 +87,18 @@ class PrimaryOrganization(SpatialOrganization):
                 if extent is not None:
                     plan.read_extent(extent)
                 candidates.append(self.objects[entry.oid])
+        return candidates
+
+    def _retrieve(
+        self,
+        groups: list[tuple[Node, list[Entry]]],
+        result: QueryResult,
+        window=None,
+        selective: bool = False,
+    ) -> list[SpatialObject]:
+        """Overflow requests are declared as one access plan per query."""
+        plan = AccessPlan("primary.retrieve")
+        candidates = self._plan_retrieve(plan, groups, result, window, selective)
         if plan:
             self.pool.submit(plan)
         return candidates

@@ -77,8 +77,9 @@ class SecondaryOrganization(SpatialOrganization):
         return extent
 
     # ------------------------------------------------------------------
-    def _retrieve(
+    def _plan_retrieve(
         self,
+        plan: AccessPlan,
         groups: list[tuple[Node, list[Entry]]],
         result: QueryResult,
         window=None,
@@ -86,16 +87,26 @@ class SecondaryOrganization(SpatialOrganization):
     ) -> list[SpatialObject]:
         """Each candidate needs its own read request into the file: the
         file is ordered by insertion time, the query by space, so there
-        is no useful physical adjacency (Section 3.2.1's drawback).
-        The requests are declared as one access plan per query and
-        submitted to the pool's scheduler."""
+        is no useful physical adjacency (Section 3.2.1's drawback)."""
         candidates: list[SpatialObject] = []
-        plan = AccessPlan("secondary.retrieve")
         for _leaf, entries in groups:
             for entry in entries:
                 assert entry.oid is not None
                 plan.read_extent(self._extents[entry.oid])
                 candidates.append(self.objects[entry.oid])
+        return candidates
+
+    def _retrieve(
+        self,
+        groups: list[tuple[Node, list[Entry]]],
+        result: QueryResult,
+        window=None,
+        selective: bool = False,
+    ) -> list[SpatialObject]:
+        """The requests are declared as one access plan per query and
+        submitted to the pool's scheduler."""
+        plan = AccessPlan("secondary.retrieve")
+        candidates = self._plan_retrieve(plan, groups, result, window, selective)
         if plan:
             self.pool.submit(plan)
         return candidates

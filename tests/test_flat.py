@@ -1,0 +1,464 @@
+"""Tests for the structure-of-arrays snapshot (repro.rtree.flat), the
+whole-tree batched traversal and the organization-level batch path.
+
+The contract under test is PR-4's equivalence promise, strengthened:
+per-query batch results equal the single-query results *in order*, and
+the page reads are priced per query in the exact single-query visit
+order — so every figure stays bit-identical whether a workload runs
+batched or one query at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.geometry.feature import SpatialObject
+from repro.geometry.intersect import point_in_polygon, points_in_polygon
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.rtree.flat import build_flat
+from repro.rtree.rstar import RStarTree
+
+from tests.conftest import build_org, make_objects
+
+ORG_KINDS = ("secondary", "primary", "cluster")
+
+
+def _windows(objects, n=24, seed=101):
+    from repro.data.workload import window_workload
+
+    return window_workload(objects, 1e-3, n_queries=n, seed=seed)
+
+
+def _points(objects, n=24, seed=7):
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(objects), n)
+    points = []
+    for pick in picks:
+        vertices = objects[int(pick)].geometry.vertices
+        x, y = vertices[int(rng.integers(0, len(vertices)))]
+        points.append((float(x), float(y)))
+    return points
+
+
+def _bare_tree(objects):
+    tree = RStarTree()
+    for obj in objects:
+        tree.insert(obj.oid, obj.mbr)
+    return tree
+
+
+# ----------------------------------------------------------------------
+# the snapshot itself
+# ----------------------------------------------------------------------
+class TestFlatSnapshot:
+    def test_shapes_and_csr_offsets(self, objects300):
+        tree = _bare_tree(objects300)
+        flat = build_flat(tree)
+        assert flat.nodes[0] is tree.root
+        assert flat.n_nodes == tree.node_count()
+        assert flat.entry_start[0] == 0
+        assert flat.entry_start[-1] == flat.n_entries
+        assert flat.entry_rect.shape == (flat.n_entries, 4)
+        # Every data entry carries its object id; every directory entry
+        # carries a child node id.
+        data = flat.entry_child < 0
+        assert (flat.entry_oid[data] >= 0).all()
+        assert (flat.entry_oid[~data] < 0).all()
+        children = flat.entry_child[~data]
+        assert len(np.unique(children)) == len(children) == flat.n_nodes - 1
+
+    def test_owner_of_inverts_offsets(self, objects300):
+        flat = build_flat(_bare_tree(objects300))
+        eids = np.arange(flat.n_entries)
+        owners = flat.owner_of(eids)
+        for nid in range(flat.n_nodes):
+            lo, hi = flat.entry_start[nid], flat.entry_start[nid + 1]
+            assert (owners[lo:hi] == nid).all()
+
+    def test_snapshot_cached_until_structure_changes(self, objects300):
+        tree = _bare_tree(objects300[:100])
+        first = tree.flat_snapshot()
+        assert tree.flat_snapshot() is first
+        extra = objects300[100]
+        tree.insert(extra.oid, extra.mbr)
+        second = tree.flat_snapshot()
+        assert second is not first
+        assert second.n_entries == first.n_entries + 1
+        tree.delete(extra.oid, extra.mbr)
+        third = tree.flat_snapshot()
+        assert third is not second
+
+    def test_batch_correct_after_invalidation(self, objects300):
+        tree = _bare_tree(objects300[:150])
+        windows = _windows(objects300, n=10)
+        tree.window_query_batch(windows)  # builds a snapshot
+        for obj in objects300[150:200]:
+            tree.insert(obj.oid, obj.mbr)  # invalidates it
+        batch = tree.window_query_batch(windows)
+        singles = [tree.window_query(w) for w in windows]
+        for got, want in zip(batch, singles):
+            assert [e.oid for e in got] == [e.oid for e in want]
+
+
+# ----------------------------------------------------------------------
+# batched traversal vs the single-query paths
+# ----------------------------------------------------------------------
+class TestBatchedTraversal:
+    @pytest.mark.parametrize("scalar", [False, True])
+    def test_window_batch_matches_singles_in_order(self, objects300, scalar):
+        tree = _bare_tree(objects300)
+        windows = _windows(objects300)
+        with kernels.scalar_kernels(scalar):
+            batch = tree.window_query_batch(windows)
+            singles = [tree.window_query(w) for w in windows]
+        assert len(batch) == len(windows)
+        for got, want in zip(batch, singles):
+            assert [e.oid for e in got] == [e.oid for e in want]
+
+    @pytest.mark.parametrize("scalar", [False, True])
+    def test_point_batch_matches_singles_in_order(self, objects300, scalar):
+        tree = _bare_tree(objects300)
+        points = _points(objects300)
+        with kernels.scalar_kernels(scalar):
+            batch = tree.point_query_batch(points)
+            singles = [tree.point_query(x, y) for x, y in points]
+        for got, want in zip(batch, singles):
+            assert [e.oid for e in got] == [e.oid for e in want]
+
+    def test_empty_batches(self, objects300):
+        tree = _bare_tree(objects300)
+        assert tree.window_query_batch([]) == []
+        assert tree.point_query_batch([]) == []
+
+    def test_batch_replays_reads_in_single_query_order(self, objects300):
+        """The priced page sequence of a batch is the concatenation of
+        the single-query sequences — not just the same multiset."""
+        org_a = build_org("secondary", objects300)
+        org_b = build_org("secondary", objects300)
+        windows = _windows(objects300, n=12)
+
+        from repro.rtree.pager import NodePager
+
+        def record(org, run):
+            pages = []
+            original = NodePager.read
+
+            def spy(pager, node):
+                if pager is org.tree.pager and node.page is not None:
+                    pages.append(node.page)
+                return original(pager, node)
+
+            NodePager.read = spy
+            try:
+                run(org)
+            finally:
+                NodePager.read = original
+            return pages
+
+        batched = record(org_a, lambda o: o.tree.window_query_batch(windows))
+        looped = record(
+            org_b, lambda o: [o.tree.window_query(w) for w in windows]
+        )
+        assert batched == looped
+
+
+# ----------------------------------------------------------------------
+# organization-level batch path
+# ----------------------------------------------------------------------
+class TestOrganizationBatch:
+    @pytest.mark.parametrize("kind", ORG_KINDS)
+    def test_window_batch_prices_like_singles(self, objects300, kind):
+        org_a = build_org(kind, objects300)
+        org_b = build_org(kind, objects300)
+        windows = _windows(objects300)
+        with kernels.scalar_kernels(True):
+            singles = [org_a.window_query(w) for w in windows]
+        assert org_b._batchable()
+        batch = org_b.window_query_batch(windows)
+        self._assert_equal(singles, batch)
+
+    @pytest.mark.parametrize("kind", ORG_KINDS)
+    def test_point_batch_prices_like_singles(self, objects300, kind):
+        org_a = build_org(kind, objects300)
+        org_b = build_org(kind, objects300)
+        points = _points(objects300)
+        with kernels.scalar_kernels(True):
+            singles = [org_a.point_query(x, y) for x, y in points]
+        batch = org_b.point_query_batch(points)
+        self._assert_equal(singles, batch)
+        assert sum(len(r.objects) for r in batch) > 0
+
+    @staticmethod
+    def _assert_equal(singles, batch):
+        assert len(singles) == len(batch)
+        for want, got in zip(singles, batch):
+            assert [o.oid for o in got.objects] == [o.oid for o in want.objects]
+            assert got.io.total_ms == want.io.total_ms
+            assert got.io.requests == want.io.requests
+            assert got.bytes_retrieved == want.bytes_retrieved
+            assert got.candidates == want.candidates
+            assert got.exact_tests == want.exact_tests
+
+    def test_scalar_mode_falls_back_to_single_loop(self, objects300):
+        org = build_org("cluster", objects300)
+        windows = _windows(objects300, n=6)
+        with kernels.scalar_kernels(True):
+            batch = org.window_query_batch(windows)
+        reference = build_org("cluster", objects300)
+        with kernels.scalar_kernels(True):
+            singles = [reference.window_query(w) for w in windows]
+        self._assert_equal(singles, batch)
+
+    def test_point_batch_refines_polygons(self):
+        """The batched refinement defers polygon membership to the
+        vectorized crossing-number kernel; results must match the
+        per-point scalar decision (TIGER maps are all polylines, so
+        this needs purpose-built polygon objects)."""
+        rng = np.random.default_rng(42)
+        objects = []
+        for oid in range(80):
+            cx, cy = rng.uniform(500, 9500, 2)
+            angles = np.sort(rng.uniform(0, 2 * np.pi, 7))
+            radius = rng.uniform(30, 120, 7)
+            ring = [
+                (cx + r * np.cos(a), cy + r * np.sin(a))
+                for a, r in zip(angles, radius)
+            ]
+            objects.append(SpatialObject(oid, Polygon(ring), size_bytes=400))
+        org_a = build_org("secondary", objects)
+        org_b = build_org("secondary", objects)
+        points = []
+        for obj in objects[:30]:
+            points.append(obj.geometry.vertices[0])          # boundary
+            points.append(obj.mbr.center())                  # maybe inside
+            points.append((obj.mbr.xmax + 1.0, obj.mbr.ymax + 1.0))
+        with kernels.scalar_kernels(True):
+            singles = [org_a.point_query(x, y) for x, y in points]
+        batch = org_b.point_query_batch(points)
+        self._assert_equal(singles, batch)
+        assert sum(len(r.objects) for r in batch) > 0
+
+
+# ----------------------------------------------------------------------
+# the points-in-polygon kernel
+# ----------------------------------------------------------------------
+class TestPointsInPolygon:
+    RING = ((0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (5.0, 15.0), (0.0, 10.0))
+
+    def probe_points(self):
+        pts = [
+            (5.0, 5.0),      # inside
+            (20.0, 5.0),     # outside
+            (0.0, 0.0),      # vertex
+            (5.0, 0.0),      # on a horizontal edge
+            (10.0, 5.0),     # on a vertical edge
+            (7.5, 12.5),     # on a diagonal edge
+            (5.0, 15.0 + 1e-15),  # just past the apex
+            (-1e-15, 5.0),   # just outside a vertical edge
+        ]
+        rng = np.random.default_rng(3)
+        pts += [tuple(p) for p in rng.uniform(-2, 17, size=(200, 2))]
+        return pts
+
+    def test_vector_matches_scalar_reference(self):
+        pts = self.probe_points()
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        want = [point_in_polygon(x, y, self.RING) for x, y in pts]
+        got = points_in_polygon(xs, ys, self.RING)
+        assert got.tolist() == want
+
+    def test_scalar_mode_fallback_agrees(self):
+        pts = self.probe_points()
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        with kernels.scalar_kernels(False):
+            vector = points_in_polygon(xs, ys, self.RING)
+        with kernels.scalar_kernels(True):
+            scalar = points_in_polygon(xs, ys, self.RING)
+        assert vector.tolist() == scalar.tolist()
+
+    def test_degenerate_inputs(self):
+        assert points_in_polygon(np.array([1.0]), np.array([1.0]), ()).tolist() == [
+            False
+        ]
+        empty = points_in_polygon(np.array([]), np.array([]), self.RING)
+        assert empty.shape == (0,)
+
+    def test_polygon_contains_points_applies_mbr_pretest(self):
+        poly = Polygon(self.RING)
+        xs = np.array([5.0, 50.0, 10.0])
+        ys = np.array([5.0, 50.0, 5.0])
+        assert poly.contains_points(xs, ys).tolist() == [
+            poly.contains_point(5.0, 5.0),
+            False,
+            poly.contains_point(10.0, 5.0),
+        ]
+
+
+class TestPolylinesIntersectRects:
+    def test_matches_scalar_reference(self):
+        from repro.geometry.intersect import (
+            polyline_intersects_rect,
+            polylines_intersect_rects,
+        )
+
+        rng = np.random.default_rng(17)
+        coords_list, rects = [], []
+        for _ in range(150):
+            n = int(rng.integers(2, 7))
+            start = rng.uniform(0, 100, 2)
+            steps = rng.uniform(-10, 10, (n - 1, 2))
+            coords_list.append(
+                np.vstack([start, start + np.cumsum(steps, axis=0)])
+            )
+            cx, cy = rng.uniform(0, 100, 2)
+            w, h = rng.uniform(1, 20, 2)
+            rects.append((cx - w, cy - h, cx + w, cy + h))
+        # A few exact boundary cases: rect corner touching a vertex,
+        # an edge collinear with a segment, and a far-away miss.
+        coords_list += [
+            np.array([(0.0, 0.0), (1.0, 0.0)]),
+            np.array([(0.0, 0.0), (4.0, 0.0)]),
+            np.array([(0.0, 0.0), (1.0, 1.0)]),
+        ]
+        rects += [
+            (1.0, 0.0, 2.0, 1.0),   # corner touches endpoint
+            (1.0, 0.0, 3.0, 2.0),   # bottom edge collinear with segment
+            (5.0, 5.0, 6.0, 6.0),   # disjoint
+        ]
+        want = [
+            polyline_intersects_rect(
+                [tuple(p) for p in coords], Rect(*rect)
+            )
+            for coords, rect in zip(coords_list, rects)
+        ]
+        with kernels.scalar_kernels(False):
+            vector = polylines_intersect_rects(coords_list, rects)
+        with kernels.scalar_kernels(True):
+            scalar = polylines_intersect_rects(coords_list, rects)
+        assert vector.tolist() == want
+        assert scalar.tolist() == want
+        assert any(want) and not all(want)
+
+    def test_single_vertex_degenerates_to_point_test(self):
+        from repro.geometry.intersect import polylines_intersect_rects
+
+        coords_list = [np.array([(5.0, 5.0)]), np.array([(50.0, 50.0)])] * 40
+        rects = [(0.0, 0.0, 10.0, 10.0)] * 80
+        out = polylines_intersect_rects(coords_list, rects)
+        assert out.tolist() == [True, False] * 40
+
+    def test_empty_batch(self):
+        from repro.geometry.intersect import polylines_intersect_rects
+
+        assert polylines_intersect_rects([], []).shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# the batch path's guard rails
+# ----------------------------------------------------------------------
+class TestBatchableGuard:
+    def test_overlap_scheduler_disables_the_merged_plan_path(self, objects300):
+        org = build_org(
+            "secondary", make_objects(120, seed=3), scheduler="overlap"
+        )
+        assert not org._batchable()
+        windows = _windows(objects300, n=4)
+        # ... but the entry point still works, via the fallback loop.
+        batch = org.window_query_batch(windows)
+        assert len(batch) == len(windows)
+
+    def test_sync_default_is_batchable(self, objects300):
+        org = build_org("secondary", make_objects(120, seed=3))
+        assert org._batchable()
+
+
+# ----------------------------------------------------------------------
+# grouped join transfers
+# ----------------------------------------------------------------------
+class TestGroupedTransfers:
+    def _org_and_leaf(self):
+        objects = make_objects(120, seed=11)
+        org = build_org("secondary", objects)
+        groups = org.tree.window_leaves(Rect(0, 0, 10_000, 10_000))
+        leaf, entries = max(groups, key=lambda g: len(g[1]))
+        return org, leaf, entries
+
+    def test_sync_scheduler_has_no_operation_scope(self):
+        from repro.join.object_access import ObjectTransfer
+
+        org, leaf, entries = self._org_and_leaf()
+        transfer = ObjectTransfer(org, org.pool)
+        assert transfer._operation() is None
+        transfer.fetch_group(leaf, entries)
+        assert transfer.object_requests == len({e.oid for e in entries})
+
+    def test_overlap_scheduler_groups_each_fetch(self):
+        from repro.buffer.pool import BufferPool
+        from repro.disk.model import DiskModel
+        from repro.iosched import OverlapScheduler
+        from repro.join.object_access import ObjectTransfer
+
+        org, leaf, entries = self._org_and_leaf()
+        sched = OverlapScheduler()
+        pool = BufferPool(DiskModel(), capacity=256, scheduler=sched)
+        transfer = ObjectTransfer(org, pool)
+        assert transfer._operation() is not None
+        transfer.fetch_group(leaf, entries)
+        assert getattr(sched, "_scope", None) is None  # scope closed again
+        assert transfer.object_requests == len({e.oid for e in entries})
+
+    def test_enclosing_scope_suppresses_auto_grouping(self):
+        from repro.buffer.pool import BufferPool
+        from repro.disk.model import DiskModel
+        from repro.iosched import OverlapScheduler
+        from repro.join.object_access import ObjectTransfer
+
+        org, _leaf, _entries = self._org_and_leaf()
+        sched = OverlapScheduler()
+        pool = BufferPool(DiskModel(), capacity=256, scheduler=sched)
+        auto = ObjectTransfer(org, pool)
+        forced = ObjectTransfer(org, pool, grouped=True)
+        off = ObjectTransfer(org, pool, grouped=False)
+        with sched.operation("outer"):
+            assert auto._operation() is None
+            assert forced._operation() is not None
+            assert off._operation() is None
+
+
+# ----------------------------------------------------------------------
+# the flat_tree bench
+# ----------------------------------------------------------------------
+class TestFlatBench:
+    def test_flat_bench_smoke(self):
+        from repro.bench import run_bench
+
+        doc = run_bench(
+            bench="flat_tree",
+            scale=0.005,
+            queries=8,
+            repeat=1,
+            only=["window_org", "point_org"],
+        )
+        assert doc["name"] == "flat_tree"
+        assert set(doc["scenarios"]) == {"window_org", "point_org"}
+        for stats in doc["scenarios"].values():
+            answers, io_ms = stats["outcome"]
+            assert answers > 0
+            assert io_ms >= 0.0
+
+    def test_unknown_bench_rejected(self):
+        from repro.bench import run_bench
+
+        with pytest.raises(ValueError, match="treeflat"):
+            run_bench(bench="treeflat")
+
+    def test_flat_scenarios_validated_per_bench(self):
+        from repro.bench import run_bench
+
+        with pytest.raises(ValueError, match="construction"):
+            run_bench(bench="flat_tree", only=["construction"])
