@@ -35,6 +35,8 @@ from repro.errors import ConfigurationError
 from repro.iosched.prefetch import Prefetcher, make_prefetcher
 from repro.iosched.request import AccessPlan
 from repro.iosched.scheduler import IOScheduler, make_scheduler
+from repro.obs import trace as _obs
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
     from repro.pagestore.store import PageStore
@@ -92,9 +94,32 @@ class BufferPool:
         clamped to the allocator's high-water marks: pages never handed
         out are not read ahead (a speculative transfer of unallocated
         storage would inflate device time with phantom pages).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the pool
+        publishes into; ``None`` creates a private registry.  The hot
+        counters (``hits``/``misses``) stay plain int attributes — the
+        registry carries gauge *views* over them plus the prefetch
+        accuracy counters (``prefetch.issued/pages/useful/wasted``).
+    metrics_label:
+        Value of the ``{pool=...}`` label distinguishing this pool's
+        metrics inside a shared registry.
     """
 
-    __slots__ = ("disk", "frames", "hits", "misses", "scheduler", "prefetcher", "allocator")
+    __slots__ = (
+        "disk",
+        "frames",
+        "hits",
+        "misses",
+        "scheduler",
+        "prefetcher",
+        "allocator",
+        "metrics",
+        "_prefetched",
+        "_pf_issued",
+        "_pf_pages",
+        "_pf_useful",
+        "_pf_wasted",
+    )
 
     def __init__(
         self,
@@ -105,6 +130,8 @@ class BufferPool:
         scheduler: "IOScheduler | str | None" = None,
         prefetcher: "Prefetcher | str | None" = None,
         allocator=None,
+        metrics: MetricsRegistry | None = None,
+        metrics_label: str | None = None,
     ):
         if capacity < 0:
             raise ConfigurationError(f"pool capacity must be >= 0, got {capacity}")
@@ -122,6 +149,20 @@ class BufferPool:
             self.frames.on_evict = self._write_back_victim
         self.hits = 0
         self.misses = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = {"pool": metrics_label} if metrics_label else {}
+        self.metrics.gauge("pool.hits", lambda: self.hits, **labels)
+        self.metrics.gauge("pool.misses", lambda: self.misses, **labels)
+        self.metrics.gauge("pool.evictions", lambda: self.evictions, **labels)
+        self.metrics.gauge("pool.hit_rate", lambda: self.hit_rate, **labels)
+        # Pages currently resident because of a speculative read-ahead:
+        # a later demand hit proves the prefetch useful, an eviction
+        # before any demand access proves it wasted.
+        self._prefetched: set[int] = set()
+        self._pf_issued = self.metrics.counter("prefetch.issued", **labels)
+        self._pf_pages = self.metrics.counter("prefetch.pages", **labels)
+        self._pf_useful = self.metrics.counter("prefetch.useful", **labels)
+        self._pf_wasted = self.metrics.counter("prefetch.wasted", **labels)
 
     # ------------------------------------------------------------------
     # introspection
@@ -159,16 +200,37 @@ class BufferPool:
         """Snapshot of the underlying disk statistics."""
         return self.disk.stats()
 
+    def prefetch_stats(self) -> dict[str, int]:
+        """Prefetch accuracy counters: plans issued, pages read ahead,
+        pages later demand-hit (useful) vs evicted unused (wasted)."""
+        return {
+            "issued": int(self._pf_issued.value),
+            "pages": int(self._pf_pages.value),
+            "useful": int(self._pf_useful.value),
+            "wasted": int(self._pf_wasted.value),
+        }
+
     def reset_stats(self) -> None:
+        """Zero hit/miss/eviction and prefetch-accuracy statistics;
+        residency (frames and the prefetched-page markers) is preserved
+        — the unified mid-run reset convention."""
         self.hits = 0
         self.misses = 0
         if self.frames is not None:
             self.frames.reset_stats()
+        self._pf_issued.reset()
+        self._pf_pages.reset()
+        self._pf_useful.reset()
+        self._pf_wasted.reset()
 
     # ------------------------------------------------------------------
     # residency primitives
     # ------------------------------------------------------------------
     def _write_back_victim(self, page: Hashable, dirty: bool) -> None:
+        if self._prefetched and page in self._prefetched:
+            # Evicted without ever serving a demand access.
+            self._prefetched.discard(page)
+            self._pf_wasted.inc()
         if dirty:
             assert isinstance(page, int)
             self.disk.write(page, 1)
@@ -178,6 +240,9 @@ class BufferPool:
         admits and never prices."""
         if self.frames is not None and self.frames.access(page):
             self.hits += 1
+            if self._prefetched and page in self._prefetched:
+                self._prefetched.discard(page)
+                self._pf_useful.inc()
             return True
         self.misses += 1
         return False
@@ -202,6 +267,9 @@ class BufferPool:
 
     def discard(self, page: int) -> None:
         """Drop a page without write-back (e.g. its extent was freed)."""
+        if self._prefetched and page in self._prefetched:
+            self._prefetched.discard(page)
+            self._pf_wasted.inc()
         if self.frames is not None:
             self.frames.discard(page)
 
@@ -259,6 +327,18 @@ class BufferPool:
             return
         ahead = AccessPlan("prefetch", blocking=False, prefetch=True)
         ahead.load_pages(missing)
+        self._pf_issued.inc()
+        self._pf_pages.inc(len(missing))
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.instant(
+                "prefetch.dispatch",
+                cat="prefetch",
+                args={"pages": len(missing), "trigger": plan.label},
+            )
+        # Mark before executing: a batch bigger than the remaining
+        # capacity may evict its own head during admission, and the
+        # eviction hook must see those pages as prefetched (wasted).
+        self._prefetched.update(missing)
         self.scheduler.execute(ahead, self)
 
     def load_pages(self, pages: Sequence[int]) -> float:
@@ -400,6 +480,10 @@ class BufferPool:
 
     def invalidate(self) -> None:
         """Drop all frames *without* write-back (start a cold phase)."""
+        if self._prefetched:
+            # Everything read ahead but never demand-hit dies cold.
+            self._pf_wasted.inc(len(self._prefetched))
+            self._prefetched.clear()
         if self.frames is not None:
             self.frames.clear()
 

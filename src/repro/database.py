@@ -29,6 +29,7 @@ from repro.iosched.scheduler import (
     scheduler_name,
 )
 from repro.join.multistep import JoinResult, spatial_join
+from repro.obs.metrics import MetricsRegistry
 from repro.pagestore.placement import make_placement
 from repro.pagestore.store import PageStore, ShardedPageStore
 from repro.pagestore.tiered import TieredPageStore
@@ -123,6 +124,12 @@ class SpatialDatabase:
     name:
         Region prefix — give two databases on one shared disk distinct
         names (see :meth:`attach`).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`
+        every layer publishes into (``pool.*``, ``prefetch.*``,
+        ``sched.*``, ``tier.*``, ``store.device_ms``).  ``None``
+        (default) creates a fresh registry per database;
+        :meth:`attach` shares it with the attached relation.
 
     Example
     -------
@@ -155,9 +162,11 @@ class SpatialDatabase:
         construction_buffer_pages: int = 256,
         max_object_bytes: int | None = None,
         name: str = "db",
+        metrics: MetricsRegistry | None = None,
         _disk: "DiskModel | PageStore | None" = None,
         _allocator: PageAllocator | None = None,
     ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         if max_object_bytes is not None and max_object_bytes <= 0:
             raise ConfigurationError("max_object_bytes must be positive")
         if n_disks < 1:
@@ -182,6 +191,7 @@ class SpatialDatabase:
                 migration=tiering,
                 fast_params=fast_params,
                 params=disk_params,
+                metrics=self.metrics,
             )
         elif n_disks > 1:
             self.disk = ShardedPageStore(
@@ -203,6 +213,12 @@ class SpatialDatabase:
         self.name = name
         self.scheduler = make_scheduler(scheduler)
         self.prefetcher = make_prefetcher(prefetch)
+        if (
+            isinstance(self.scheduler, OverlapScheduler)
+            and self.scheduler.metrics is None
+        ):
+            self.scheduler.metrics = self.metrics
+        self._register_device_gauges()
         admission_policy = make_admission(admission)
         if admission_policy is not None:
             if not isinstance(self.scheduler, OverlapScheduler):
@@ -220,6 +236,7 @@ class SpatialDatabase:
             region_prefix=name,
             scheduler=self.scheduler,
             prefetch=self.prefetcher,
+            metrics=self.metrics,
         )
         if organization == "cluster":
             if smax_bytes is None:
@@ -390,6 +407,8 @@ class SpatialDatabase:
             scheduler=self.scheduler,
             prefetcher=self.prefetcher,
             allocator=self.allocator,
+            metrics=self.metrics,
+            metrics_label=f"{self.name}.workload",
         )
 
     def attach(self, name: str, **kwargs) -> "SpatialDatabase":
@@ -403,6 +422,7 @@ class SpatialDatabase:
             )
         kwargs.setdefault("scheduler", self.scheduler)
         kwargs.setdefault("prefetch", self.prefetcher)
+        kwargs.setdefault("metrics", self.metrics)
         return SpatialDatabase(
             name=name, _disk=self.disk, _allocator=self.allocator, **kwargs
         )
@@ -412,6 +432,40 @@ class SpatialDatabase:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.storage)
+
+    def _register_device_gauges(self) -> None:
+        """Publish live device-time views (``store.device_ms``) into the
+        metrics registry: one per device arm plus the aggregate."""
+        store = self.disk
+        self.metrics.gauge("store.device_ms", lambda: store.total_ms)
+        disks = getattr(store, "disks", None)
+        if disks is None:
+            return
+        if isinstance(store, TieredPageStore):
+            names = ["fast", "capacity"]
+        else:
+            names = [str(index) for index in range(len(disks))]
+        for device, label in zip(disks, names):
+            self.metrics.gauge(
+                "store.device_ms",
+                (lambda dev: lambda: dev.total_ms)(device),
+                disk=label,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero statistics across every layer — disk(s), the query
+        pool, the scheduler's queueing delays and the metrics registry's
+        counters/histograms — without touching operational state (head
+        positions, residency, tier placement, the virtual clock, open
+        trace spans).  The unified mid-run reset."""
+        reset_disk = getattr(self.disk, "reset_stats", None)
+        if reset_disk is not None:
+            reset_disk()
+        self.storage.pool.reset_stats()
+        reset_sched = getattr(self.scheduler, "reset_stats", None)
+        if reset_sched is not None:
+            reset_sched()
+        self.metrics.reset_stats()
 
     def io_stats(self) -> DiskStats:
         """Cumulative I/O statistics of the backing store (device time,

@@ -25,6 +25,7 @@ from typing import Iterator, Sequence
 from repro.disk.extent import Extent
 from repro.disk.params import DiskParameters
 from repro.errors import DiskError
+from repro.obs import trace as _obs
 
 __all__ = ["DiskModel", "DiskStats", "VectoredCost", "measure_costs"]
 
@@ -192,6 +193,8 @@ class DiskModel:
         self._head = start + npages
         if self.trace:
             self.requests.append(_Request(kind, start, npages, cost))
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.device(self, kind, start, npages, cost)
         return cost
 
     def read(self, start: int, npages: int = 1, continuation: bool = False) -> float:
@@ -231,7 +234,10 @@ class DiskModel:
         self._stats.transfer_ms += pages * p.transfer_ms
         if seeks or rotations or pages:
             self._stats.requests += 1
-        return seeks * p.seek_ms + rotations * p.latency_ms + pages * p.transfer_ms
+        cost = seeks * p.seek_ms + rotations * p.latency_ms + pages * p.transfer_ms
+        if cost and _obs.ACTIVE is not None:
+            _obs.ACTIVE.device(self, "charge", -1, pages, cost)
+        return cost
 
     def read_extent(self, extent: Extent, continuation: bool = False) -> float:
         """Read a whole extent with one request."""
@@ -294,4 +300,12 @@ class DiskModel:
         """Zero all statistics and forget the head position."""
         self._stats = DiskStats()
         self._head = None
+        self.requests.clear()
+
+    def reset_stats(self) -> None:
+        """Zero statistics only — the unified mid-run reset convention.
+
+        Unlike :meth:`reset`, the head position is preserved so pricing
+        of subsequent requests is unaffected by the reset."""
+        self._stats = DiskStats()
         self.requests.clear()

@@ -9,6 +9,7 @@
                                  [--admission none,priority]
     python -m repro.eval tiering [--migrations none,static,promote-on-hit,lru-demote]
     python -m repro.eval bench [--scale 0.02] [--repeat 5] [--output BENCH_query_kernels.json]
+    python -m repro.eval trace [--trace-out trace.json] [--metrics-out metrics.json]
 
 The default mode regenerates every table and figure of the paper in
 sequence and prints the report tables; individual experiments can be
@@ -41,9 +42,21 @@ and reports device time, response time and the migration counters.
 The ``bench`` subcommand measures *wall-clock* CPU time of the
 vectorized query kernels against the ``REPRO_SCALAR_KERNELS``
 fallback (see :mod:`repro.bench`) and writes
-``BENCH_query_kernels.json``; ``--profile`` on the workload
-subcommand prints the top cProfile entries of the run so perf work
-can find the next hot spot.
+``BENCH_query_kernels.json``; ``--profile`` on the workload, iosched
+and tiering subcommands prints the top cProfile entries of the run so
+perf work can find the next hot spot, and ``--profile-out PATH``
+additionally writes the raw pstats dump for offline analysis
+(``python -m pstats PATH``, snakeviz, ...).
+
+The ``trace`` subcommand runs a canonical two-client overlapped
+workload with the :mod:`repro.obs` span tracer installed and writes a
+Chrome trace-event / Perfetto JSON timeline (one track per client
+session, one per disk arm; open it at https://ui.perfetto.dev) plus a
+flattened metrics snapshot, then cross-checks the exported per-disk
+span totals against the device time the :class:`DiskStats` accounting
+measured.  The same artifacts can be captured from the workload,
+iosched and tiering subcommands with ``--trace-out`` /
+``--metrics-out``.
 """
 
 from __future__ import annotations
@@ -94,6 +107,67 @@ EXPERIMENTS = {
     "fig16": lambda ctx: format_fig16(run_fig16_join_techniques(ctx)),
     "fig17": lambda ctx: format_fig17(run_fig17_complete_join(ctx)),
 }
+
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def _profiled(active: bool, out: str | None = None, label: str = ""):
+    """Run the block under cProfile when requested.
+
+    Prints the top-15 cumulative-time entries; when ``out`` is given the
+    raw pstats dump is written there as well (readable with
+    ``python -m pstats``).  A no-op when neither is requested.
+    """
+    if not active and out is None:
+        yield
+        return
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
+        print()
+        suffix = f" ({label})" if label else ""
+        print(f"--- cProfile top 15 by cumulative time{suffix} ---")
+        print(buf.getvalue())
+        if out is not None:
+            profiler.dump_stats(out)
+            print(f"[profile: raw pstats dump written to {out}]")
+
+
+def _tagged(path: str | None, tag: str, multi: bool) -> str | None:
+    """Suffix an output path per configuration when a subcommand runs
+    several (``trace.json`` -> ``trace.lru.json`` for policy ``lru``)."""
+    if path is None or not multi:
+        return path
+    import os
+
+    root, ext = os.path.splitext(path)
+    safe = tag.replace("/", "-").replace(" ", "-")
+    return f"{root}.{safe}{ext}" if ext else f"{path}.{safe}"
+
+
+def _export_obs(tracer, metrics, trace_out, metrics_out, extra=None) -> None:
+    """Write and validate the Chrome trace and/or metrics snapshot."""
+    from repro.obs import validate_chrome_trace, write_chrome_trace
+
+    if trace_out is not None and tracer is not None:
+        data = write_chrome_trace(trace_out, tracer)
+        counts = validate_chrome_trace(data)
+        rendered = ", ".join(f"{k}:{v}" for k, v in sorted(counts.items()))
+        print(f"[trace: {sum(counts.values())} events ({rendered}) -> {trace_out}]")
+    if metrics_out is not None and metrics is not None:
+        metrics.write(metrics_out, extra=extra)
+        print(f"[metrics: {len(metrics)} metrics -> {metrics_out}]")
 
 
 def workload_main(argv: list[str]) -> int:
@@ -161,6 +235,22 @@ def workload_main(argv: list[str]) -> int:
         "--profile", action="store_true",
         help="run under cProfile and print the top-15 cumulative-time "
         "entries (per policy), so perf PRs can find the next hot spot",
+    )
+    parser.add_argument(
+        "--profile-out", type=str, default=None, metavar="PATH",
+        help="write the raw cProfile pstats dump to PATH (implies "
+        "--profile; with several policies a .<policy> suffix is added)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="run under the span tracer and write a Chrome trace-event "
+        "/ Perfetto JSON timeline to PATH (per policy, suffixed when "
+        "several policies run)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the flattened metrics-registry snapshot as JSON to "
+        "PATH (per policy, suffixed when several policies run)",
     )
     args = parser.parse_args(argv)
 
@@ -250,27 +340,32 @@ def workload_main(argv: list[str]) -> int:
                 recorded = True
                 count = save_trace(stream, args.trace)
                 print(f"[trace: recorded {count} operations to {args.trace}]")
-        if args.profile:
-            import cProfile
-            import io
-            import pstats
+        multi = len(policies) > 1
+        tracer = None
+        if args.trace_out is not None:
+            from repro.obs import Tracer, register_store_devices, tracing
 
-            profiler = cProfile.Profile()
-            profiler.enable()
-            report = db.run_workload(
-                stream, buffer_pages=args.buffer_pages, policy=policy
-            )
-            profiler.disable()
-            buf = io.StringIO()
-            stats = pstats.Stats(profiler, stream=buf)
-            stats.sort_stats("cumulative").print_stats(15)
-            print()
-            print(f"--- cProfile top 15 by cumulative time ({policy}) ---")
-            print(buf.getvalue())
-        else:
-            report = db.run_workload(
-                stream, buffer_pages=args.buffer_pages, policy=policy
-            )
+            tracer = Tracer(label=f"workload:{policy}")
+            register_store_devices(tracer, db.disk)
+        profile_on = args.profile or args.profile_out is not None
+        with _profiled(profile_on, _tagged(args.profile_out, policy, multi), policy):
+            if tracer is not None:
+                with tracing(tracer):
+                    report = db.run_workload(
+                        stream, buffer_pages=args.buffer_pages, policy=policy
+                    )
+            else:
+                report = db.run_workload(
+                    stream, buffer_pages=args.buffer_pages, policy=policy
+                )
+        _export_obs(
+            tracer,
+            db.metrics,
+            _tagged(args.trace_out, policy, multi),
+            _tagged(args.metrics_out, policy, multi),
+            extra={"run": {"policy": policy, "hit_rate": report.hit_rate,
+                           "device_ms": report.total_io.total_ms}},
+        )
         print()
         print(report.format())
         print()
@@ -470,6 +565,26 @@ def iosched_main(argv: list[str]) -> int:
         "--queries", type=int, default=40,
         help="window queries per client (default 40)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the whole ablation under cProfile and print the "
+        "top-15 cumulative-time entries",
+    )
+    parser.add_argument(
+        "--profile-out", type=str, default=None, metavar="PATH",
+        help="write the raw cProfile pstats dump to PATH (implies --profile)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="trace each configuration and write Chrome trace-event "
+        "JSON to PATH (suffixed .<sched>.<prefetch>.<admission> when "
+        "several configurations run)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write each configuration's metrics snapshot as JSON to "
+        "PATH (suffixed like --trace-out)",
+    )
     args = parser.parse_args(argv)
 
     schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
@@ -513,30 +628,60 @@ def iosched_main(argv: list[str]) -> int:
             f"{args.buffer_pages}-page pool"
         )
     )
-    measured = []
-    for scheduler in schedulers:
+    configs = [
+        (scheduler, prefetch, admission)
+        for scheduler in schedulers
         # Admission shapes dispatch on the virtual clock: the sync
         # scheduler has none, so only 'none' applies there.
-        applicable = admissions if scheduler == "overlap" else ["none"]
-        for prefetch in prefetchers:
-            for admission in applicable:
-                db = SpatialDatabase(
-                    smax_bytes=spec.smax_bytes,
-                    n_disks=args.disks,
-                    placement=args.placement,
-                    scheduler=scheduler,
-                    prefetch=prefetch,
-                )
-                db.build(objects)
-                policy = admission
-                if admission == "priority":
-                    policy = PriorityAdmission(classes={"beta": "analytics"})
+        for prefetch in prefetchers
+        for admission in (admissions if scheduler == "overlap" else ["none"])
+    ]
+    multi = len(configs) > 1
+    measured = []
+    profile_on = args.profile or args.profile_out is not None
+    with _profiled(profile_on, args.profile_out, "iosched ablation"):
+        for scheduler, prefetch, admission in configs:
+            db = SpatialDatabase(
+                smax_bytes=spec.smax_bytes,
+                n_disks=args.disks,
+                placement=args.placement,
+                scheduler=scheduler,
+                prefetch=prefetch,
+            )
+            db.build(objects)
+            policy = admission
+            if admission == "priority":
+                policy = PriorityAdmission(classes={"beta": "analytics"})
+            tracer = None
+            if args.trace_out is not None:
+                from repro.obs import Tracer, register_store_devices, tracing
+
+                tracer = Tracer(label=f"iosched:{scheduler}.{prefetch}.{admission}")
+                register_store_devices(tracer, db.disk)
+            if tracer is not None:
+                with tracing(tracer):
+                    report = db.run_sessions(
+                        client_streams(),
+                        buffer_pages=args.buffer_pages,
+                        admission=None if admission == "none" else policy,
+                    )
+            else:
                 report = db.run_sessions(
                     client_streams(),
                     buffer_pages=args.buffer_pages,
                     admission=None if admission == "none" else policy,
                 )
-                measured.append((scheduler, prefetch, admission, report))
+            tag = f"{scheduler}.{prefetch}.{admission}"
+            _export_obs(
+                tracer,
+                db.metrics,
+                _tagged(args.trace_out, tag, multi),
+                _tagged(args.metrics_out, tag, multi),
+                extra={"run": {"scheduler": scheduler, "prefetch": prefetch,
+                               "admission": admission,
+                               "makespan_ms": report.makespan_ms}},
+            )
+            measured.append((scheduler, prefetch, admission, report))
     # Speedups are relative to the synchronous un-prefetched baseline;
     # when that configuration was not requested, fall back to the first
     # one measured (then the column is only an internal comparison).
@@ -626,6 +771,26 @@ def tiering_main(argv: list[str]) -> int:
         "--hot-fraction", type=float, default=0.9,
         help="fraction of queries aimed at the hot corner (default 0.9)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the whole ablation under cProfile and print the "
+        "top-15 cumulative-time entries",
+    )
+    parser.add_argument(
+        "--profile-out", type=str, default=None, metavar="PATH",
+        help="write the raw cProfile pstats dump to PATH (implies --profile)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="trace each migration policy's query run and write Chrome "
+        "trace-event JSON to PATH (suffixed .<migration> when several "
+        "policies run)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write each policy's metrics snapshot as JSON to PATH "
+        "(suffixed like --trace-out)",
+    )
     args = parser.parse_args(argv)
 
     migrations = [m.strip() for m in args.migrations.split(",") if m.strip()]
@@ -668,17 +833,38 @@ def tiering_main(argv: list[str]) -> int:
         )
     )
     rows = []
-    for migration in migrations:
+    multi = len(migrations) > 1
+
+    def run_one(migration: str) -> None:
         db = SpatialDatabase(
             smax_bytes=spec.smax_bytes,
             tiering=None if migration == "none" else migration,
             fast_pages=args.fast_pages,
         )
         db.build(objects)
+        tracer = None
+        if args.trace_out is not None:
+            from repro.obs import Tracer, register_store_devices, tracing
+
+            tracer = Tracer(label=f"tiering:{migration}")
+            register_store_devices(tracer, db.disk)
         mark = db.disk.snapshot()
-        for window in queries:
-            db.window_query(*window)
+        if tracer is not None:
+            with tracing(tracer):
+                with tracer.span("queries", cat="session", args={"migration": migration}):
+                    for window in queries:
+                        db.window_query(*window)
+        else:
+            for window in queries:
+                db.window_query(*window)
         cost = db.disk.cost_since(mark)
+        _export_obs(
+            tracer,
+            db.metrics,
+            _tagged(args.trace_out, migration, multi),
+            _tagged(args.metrics_out, migration, multi),
+            extra={"run": {"migration": migration, "device_ms": cost.total_ms}},
+        )
         rows.append(
             (
                 migration,
@@ -689,6 +875,11 @@ def tiering_main(argv: list[str]) -> int:
                 getattr(db.disk, "fast_resident", 0),
             )
         )
+
+    profile_on = args.profile or args.profile_out is not None
+    with _profiled(profile_on, args.profile_out, "tiering ablation"):
+        for migration in migrations:
+            run_one(migration)
     print()
     print(
         format_table(
@@ -707,6 +898,193 @@ def tiering_main(argv: list[str]) -> int:
     return 0
 
 
+def trace_main(argv: list[str]) -> int:
+    """The ``trace`` subcommand: run a canonical two-client overlapped
+    workload under the span tracer, export the Chrome/Perfetto timeline
+    and metrics snapshot, and cross-check span totals against DiskStats."""
+    from repro.data.tiger import generate_map
+    from repro.database import SpatialDatabase
+    from repro.iosched import ADMISSIONS, PREFETCHERS, SCHEDULERS
+    from repro.iosched.admission import PriorityAdmission
+    from repro.obs import (
+        Tracer,
+        register_store_devices,
+        trace_device_totals,
+        tracing,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from repro.workload.streams import mixed_stream
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval trace",
+        description="Trace a two-client workload on the virtual clock "
+        "and export a Chrome trace-event / Perfetto JSON timeline "
+        "(open at https://ui.perfetto.dev) plus a metrics snapshot.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale in (0, 1] (default: REPRO_SCALE or 0.08)",
+    )
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument(
+        "--series", type=str, default="A-1", help="Table 1 series (default A-1)"
+    )
+    parser.add_argument(
+        "--disks", type=int, default=4,
+        help="disks behind the buffer pool (default 4)",
+    )
+    parser.add_argument(
+        "--placement", type=str, default="spatial",
+        help="declustering placement (default spatial)",
+    )
+    parser.add_argument(
+        "--scheduler", type=str, default="overlap",
+        help="I/O scheduler: overlap (default) or sync",
+    )
+    parser.add_argument(
+        "--prefetch", type=str, default="cluster",
+        help="read-ahead policy (default cluster)",
+    )
+    parser.add_argument(
+        "--admission", type=str, default="none",
+        help="admission policy on the overlap scheduler (default none; "
+        "'priority' marks the beta client as the analytics class)",
+    )
+    parser.add_argument(
+        "--buffer-pages", type=int, default=400,
+        help="shared pool size in page frames (default 400)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=20,
+        help="window queries per client (default 20)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default="trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output path (default trace.json)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="metrics snapshot JSON output path (default: not written)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scheduler not in SCHEDULERS:
+        parser.error(f"unknown scheduler '{args.scheduler}'; valid: {SCHEDULERS}")
+    if args.prefetch not in PREFETCHERS:
+        parser.error(
+            f"unknown prefetch policy '{args.prefetch}'; valid: {PREFETCHERS}"
+        )
+    if args.admission not in ADMISSIONS:
+        parser.error(
+            f"unknown admission policy '{args.admission}'; valid: {ADMISSIONS}"
+        )
+    if args.disks < 1:
+        parser.error(f"--disks needs a positive disk count: {args.disks!r}")
+
+    if args.scale is not None:
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    else:
+        config = ExperimentConfig(seed=args.seed)
+    spec = config.spec(args.series)
+    objects = generate_map(spec, seed=config.seed)
+
+    db = SpatialDatabase(
+        smax_bytes=spec.smax_bytes,
+        n_disks=args.disks,
+        placement=args.placement,
+        scheduler=args.scheduler,
+        prefetch=args.prefetch,
+    )
+    db.build(objects)
+    streams = {
+        "alpha": mixed_stream(
+            objects, n_windows=args.queries, n_points=args.queries // 2,
+            seed=config.seed + 3,
+        ),
+        "beta": mixed_stream(
+            objects, n_windows=args.queries, n_points=args.queries // 2,
+            seed=config.seed + 5,
+        ),
+    }
+    policy = args.admission
+    if args.admission == "priority":
+        policy = PriorityAdmission(classes={"beta": "analytics"})
+
+    print(
+        format_header(
+            f"span trace — {args.series} (scale={config.scale}), "
+            f"{args.disks} disks ({args.placement}), "
+            f"{args.scheduler} scheduler, {args.prefetch} prefetch, "
+            "2 interleaved clients"
+        )
+    )
+    devices = list(getattr(db.disk, "disks", None) or (db.disk,))
+    before = [device.total_ms for device in devices]
+    tracer = Tracer(
+        label=f"trace:{args.scheduler}.{args.prefetch}.{args.admission}"
+    )
+    register_store_devices(tracer, db.disk)
+    with tracing(tracer):
+        report = db.run_sessions(
+            streams,
+            buffer_pages=args.buffer_pages,
+            admission=None if args.admission == "none" else policy,
+        )
+
+    data = write_chrome_trace(args.trace_out, tracer)
+    counts = validate_chrome_trace(data)
+    span_totals = tracer.device_totals()
+    json_totals = trace_device_totals(data)
+    open_spans = tracer.open_spans()
+
+    rows = []
+    worst = 0.0
+    for device in devices:
+        track = tracer.device_track(device)
+        measured = device.total_ms - before[devices.index(device)]
+        spanned = span_totals.get(track, 0.0)
+        exported = json_totals.get(track, 0.0)
+        worst = max(worst, abs(spanned - measured), abs(exported - measured))
+        rows.append((track, measured, spanned, exported))
+    print()
+    print(
+        format_table(
+            ("device", "DiskStats ms", "span total ms", "exported ms"),
+            rows,
+            title="per-device span totals vs. device-time accounting",
+        )
+    )
+    rendered = ", ".join(f"{k}:{v}" for k, v in sorted(counts.items()))
+    print()
+    print(f"trace: {sum(counts.values())} events ({rendered}) -> {args.trace_out}")
+    print(
+        f"makespan: {report.makespan_ms:.1f} ms virtual, "
+        f"hit rate {report.hit_rate:.1%}, "
+        f"device {report.total_io.total_ms:.1f} ms"
+    )
+    if args.metrics_out is not None:
+        db.metrics.write(
+            args.metrics_out,
+            extra={"run": {"scheduler": args.scheduler,
+                           "prefetch": args.prefetch,
+                           "admission": args.admission,
+                           "makespan_ms": report.makespan_ms}},
+        )
+        print(f"metrics: {len(db.metrics)} metrics -> {args.metrics_out}")
+    if open_spans:
+        print(f"ERROR: {len(open_spans)} spans left open: {open_spans[:5]}")
+        return 1
+    if worst > 1e-6:
+        print(
+            "ERROR: per-device span totals diverge from DiskStats "
+            f"accounting by up to {worst:.9f} ms"
+        )
+        return 1
+    print("span totals match DiskStats device time exactly.")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -718,6 +1096,8 @@ def main(argv: list[str] | None = None) -> int:
         return iosched_main(argv[1:])
     if argv and argv[0] == "tiering":
         return tiering_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench import main as bench_main
 

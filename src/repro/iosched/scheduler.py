@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
 from repro.errors import ConfigurationError
 from repro.iosched.request import AccessPlan, IORequest
+from repro.obs import trace as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
     from repro.buffer.pool import BufferPool
@@ -81,10 +82,37 @@ class SyncScheduler:
     name = "sync"
 
     def execute(self, plan: AccessPlan, pool: "BufferPool") -> float:
+        tracer = _obs.ACTIVE
+        if tracer is None:
+            return self._run(plan, pool)
+        return self._run_traced(plan, pool, tracer)
+
+    def _run(self, plan: AccessPlan, pool: "BufferPool") -> float:
         chains: set[int] = set()
         total = 0.0
         for request in plan.requests:
             total += self._issue(request, pool, chains, plan)
+        return total
+
+    def _run_traced(
+        self, plan: AccessPlan, pool: "BufferPool", tracer: "_obs.Tracer"
+    ) -> float:
+        span = tracer.begin(
+            plan.label,
+            cat="plan",
+            args={"requests": len(plan.requests), "prefetch": plan.prefetch},
+        )
+        chains: set[int] = set()
+        total = 0.0
+        try:
+            for request in plan.requests:
+                rspan = tracer.begin(request.op, cat="request")
+                try:
+                    total += self._issue(request, pool, chains, plan)
+                finally:
+                    tracer.end(rspan)
+        finally:
+            tracer.end(span)
         return total
 
     # ------------------------------------------------------------------
@@ -143,6 +171,11 @@ class SyncScheduler:
             plan.executed.append((span[0], span[1], cost))
         return cost
 
+    def reset_stats(self) -> None:
+        """The sync scheduler keeps no statistics; present for the
+        unified ``reset_stats()`` surface."""
+        return None
+
 
 class VirtualClock:
     """Simulated time: one service queue per disk, one clock per client.
@@ -161,13 +194,17 @@ class VirtualClock:
     waiting for a busy arm beyond the issue time.
     """
 
-    __slots__ = ("_busy", "clients", "last_wait_ms")
+    __slots__ = ("_busy", "clients", "last_wait_ms", "last_intervals")
 
     def __init__(self):
         # Per disk: merged, sorted (start, end) busy intervals.
         self._busy: list[list[tuple[float, float]]] = []
         self.clients: dict[str, float] = {}
         self.last_wait_ms = 0.0
+        #: Placement of the last dispatched request: one
+        #: ``(disk_index, begin, end)`` per involved disk — the span
+        #: tracer stamps device service spans from these.
+        self.last_intervals: list[tuple[int, float, float]] = []
 
     @property
     def disk_free(self) -> list[float]:
@@ -219,16 +256,19 @@ class VirtualClock:
             )
         finish = at
         wait = 0.0
+        intervals: list[tuple[int, float, float]] = []
         for disk, work in enumerate(work_per_disk):
             if work <= 0.0:
                 continue
             begin = self._place(disk, at, work)
             end = begin + work
+            intervals.append((disk, begin, end))
             if begin - at > wait:
                 wait = begin - at
             if end > finish:
                 finish = end
         self.last_wait_ms = wait
+        self.last_intervals = intervals
         return finish
 
     @property
@@ -248,6 +288,7 @@ class VirtualClock:
         self._busy.clear()
         self.clients.clear()
         self.last_wait_ms = 0.0
+        self.last_intervals = []
 
 
 class _OperationScope:
@@ -287,7 +328,7 @@ class OverlapScheduler(SyncScheduler):
 
     name = "overlap"
 
-    def __init__(self, admission=None):
+    def __init__(self, admission=None, metrics=None):
         from repro.iosched.admission import make_admission
 
         self.clock = VirtualClock()
@@ -299,9 +340,17 @@ class OverlapScheduler(SyncScheduler):
         #: Accumulated queueing delay per client: admission waits plus
         #: time the client's demand requests spent behind busy arms.
         self.queueing: dict[str, float] = {}
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` the
+        #: queueing delays are mirrored into (``sched.queueing_ms{client=}``).
+        self.metrics = metrics
         # Completion time of the last non-prefetch plan (the causality
         # floor for a follow-up prefetch dispatch).
         self._last_completion = 0.0
+
+    def _account_queueing(self, client: str, delay_ms: float) -> None:
+        self.queueing[client] = self.queueing.get(client, 0.0) + delay_ms
+        if self.metrics is not None:
+            self.metrics.counter("sched.queueing_ms", client=client).inc(delay_ms)
 
     @property
     def client(self) -> str:
@@ -347,9 +396,25 @@ class OverlapScheduler(SyncScheduler):
                 if at < now:
                     at = now
                 if at > now:
-                    self.queueing[client] = (
-                        self.queueing.get(client, 0.0) + (at - now)
-                    )
+                    self._account_queueing(client, at - now)
+                    tracer = _obs.ACTIVE
+                    if tracer is not None:
+                        tracer.use_virtual_clock(True)
+                        wspan = tracer.begin(
+                            "admission.wait",
+                            cat="admission",
+                            track=client,
+                            ts=now,
+                            args={"client": client},
+                        )
+                        tracer.end(wspan, ts=at)
+                        tracer.instant(
+                            "admission.admit",
+                            cat="admission",
+                            track=client,
+                            ts=at,
+                            args={"wait_ms": at - now},
+                        )
             scope = _OperationScope(at)
             self._scope = scope
             try:
@@ -371,11 +436,28 @@ class OverlapScheduler(SyncScheduler):
             # Causality: a speculative follow-up cannot start before the
             # demand transfer that produced its suggestion completed.
             issue_at = self._last_completion
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.use_virtual_clock(True)
+            tracer.virtual_now = issue_at
+            devices = getattr(pool.disk, "disks", None) or (pool.disk,)
+            pspan = tracer.begin(
+                plan.label,
+                cat="plan",
+                ts=issue_at,
+                # Background prefetch plans outlive the operation that
+                # triggered them; detach so nesting invariants hold.
+                parent=None if plan.prefetch else _obs._UNSET,
+                args={"requests": len(plan.requests), "prefetch": plan.prefetch},
+            )
         chains: set[int] = set()
         completion = issue_at
         queued = 0.0
         device_ms = 0.0
         for request in plan.requests:
+            if tracer is not None:
+                rspan = tracer.begin(request.op, cat="request", ts=issue_at)
+                tracer.begin_pending()
             before = device_times(pool.disk)
             self._issue(request, pool, chains, plan)
             after = device_times(pool.disk)
@@ -383,17 +465,25 @@ class OverlapScheduler(SyncScheduler):
             for w in work:
                 device_ms += w
             finished = self.clock.dispatch(issue_at, work)
+            if tracer is not None:
+                tracer.place_pending(
+                    {
+                        devices[disk]: begin
+                        for disk, begin, _end in self.clock.last_intervals
+                    }
+                )
+                tracer.end(rspan, ts=finished)
             queued += self.clock.last_wait_ms
             if finished > completion:
                 completion = finished
+        if tracer is not None:
+            tracer.end(pspan, ts=completion)
         if scope is not None:
             scope.device_ms += device_ms
         if not plan.prefetch:
             self._last_completion = completion
             if plan.blocking and queued > 0.0:
-                self.queueing[self._client] = (
-                    self.queueing.get(self._client, 0.0) + queued
-                )
+                self._account_queueing(self._client, queued)
         if not plan.blocking:
             return 0.0
         if scope is not None:
@@ -411,6 +501,13 @@ class OverlapScheduler(SyncScheduler):
         self._last_completion = 0.0
         if self.admission is not None:
             self.admission.reset()
+
+    def reset_stats(self) -> None:
+        """Zero accumulated statistics only (the unified mid-run reset
+        convention): queueing delays are cleared, but virtual time, the
+        open operation scope, and admission state are preserved so a
+        reset never perturbs in-flight timing."""
+        self.queueing.clear()
 
 
 SCHEDULERS = ("sync", "overlap")

@@ -1,0 +1,170 @@
+"""Chrome trace-event / Perfetto JSON export for :class:`Tracer` runs.
+
+The exported object follows the Chrome trace-event "JSON Object Format":
+``{"traceEvents": [...], "displayTimeUnit": "ms"}``.  Spans become
+``"ph": "X"`` complete events and instants become ``"ph": "i"`` thread
+instants; ``"ph": "M"`` metadata events name the two processes (clients
+on the virtual clock, device arms) and one thread per track.  Timestamps
+are microseconds as the format requires — virtual milliseconds * 1000 —
+kept as floats so per-disk span totals stay exactly equal to the run's
+:class:`~repro.disk.model.DiskStats` device time.
+
+Open the file at https://ui.perfetto.dev (or ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "CLIENT_PID",
+    "DEVICE_PID",
+    "REQUIRED_EVENT_KEYS",
+    "chrome_trace",
+    "trace_device_totals",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+CLIENT_PID = 1
+DEVICE_PID = 2
+
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """Render a tracer's spans and instants as a Chrome trace-event dict."""
+    device_tracks = set(tracer.device_tracks)
+    track_tids: dict[tuple[int, str], int] = {}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": CLIENT_PID,
+            "tid": 0,
+            "args": {"name": "clients (virtual clock)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": DEVICE_PID,
+            "tid": 0,
+            "args": {"name": "devices"},
+        },
+    ]
+
+    def resolve(track: str, is_device: bool) -> tuple[int, int]:
+        pid = DEVICE_PID if is_device else CLIENT_PID
+        key = (pid, track)
+        tid = track_tids.get(key)
+        if tid is None:
+            tid = sum(1 for existing in track_tids if existing[0] == pid) + 1
+            track_tids[key] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return pid, tid
+
+    last_ts = tracer.max_ts()
+    for span in tracer.spans:
+        is_device = span.cat == "device" or span.track in device_tracks
+        pid, tid = resolve(span.track, is_device)
+        end = span.end_ms if span.end_ms is not None else max(span.start_ms, last_ts)
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start_ms * 1000.0,
+            "dur": (end - span.start_ms) * 1000.0,
+            "pid": pid,
+            "tid": tid,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for mark in tracer.instants:
+        pid, tid = resolve(mark.track, mark.track in device_tracks)
+        event = {
+            "name": mark.name,
+            "cat": mark.cat,
+            "ph": "i",
+            "ts": mark.ts_ms * 1000.0,
+            "pid": pid,
+            "tid": tid,
+            "s": "t",
+        }
+        if mark.args:
+            event["args"] = mark.args
+        events.append(event)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": tracer.label,
+            "clock": "virtual-ms" if tracer.virtual else "serial-device-ms",
+        },
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> dict[str, Any]:
+    """Serialize :func:`chrome_trace` to ``path``; returns the dict."""
+    data = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1)
+        handle.write("\n")
+    return data
+
+
+def validate_chrome_trace(data: Any) -> dict[str, int]:
+    """Structurally validate a loaded trace dict.
+
+    Raises :class:`ValueError` on shape violations; returns event counts
+    per phase (``{"X": ..., "i": ..., "M": ...}``) for reporting.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("trace root must be a JSON object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    counts: dict[str, int] = {}
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError("each trace event must be an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"trace event missing required key {key!r}: {event}")
+        ph = event["ph"]
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "X":
+            if "dur" not in event:
+                raise ValueError(f"complete event missing dur: {event}")
+            if event["dur"] < 0 or event["ts"] < 0:
+                raise ValueError(f"negative timestamp in event: {event}")
+    return counts
+
+
+def trace_device_totals(data: dict[str, Any]) -> dict[str, float]:
+    """Per-device-track span totals (ms) recomputed from exported JSON."""
+    names: dict[int, str] = {}
+    for event in data["traceEvents"]:
+        if event.get("ph") == "M" and event["name"] == "thread_name" and event["pid"] == DEVICE_PID:
+            names[event["tid"]] = event["args"]["name"]
+    totals: dict[str, float] = {}
+    for event in data["traceEvents"]:
+        if event.get("ph") == "X" and event["pid"] == DEVICE_PID:
+            track = names.get(event["tid"], str(event["tid"]))
+            totals[track] = totals.get(track, 0.0) + event["dur"] / 1000.0
+    return totals

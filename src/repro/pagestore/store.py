@@ -353,3 +353,13 @@ class ShardedPageStore:
             disk.reset()
         self._response_ms = 0.0
         self._epoch += 1
+
+    def reset_stats(self) -> None:
+        """Zero statistics only — head positions (and placement pins)
+        are preserved, so pricing of subsequent requests is unaffected.
+        Bumps the reset epoch like :meth:`reset` so stale snapshots are
+        measured from zero instead of going negative."""
+        for disk in self.disks:
+            disk.reset_stats()
+        self._response_ms = 0.0
+        self._epoch += 1

@@ -49,6 +49,8 @@ from repro.disk.extent import Extent
 from repro.disk.model import DiskModel, DiskStats, VectoredCost, measure_costs
 from repro.disk.params import DiskParameters
 from repro.errors import ConfigurationError
+from repro.obs import trace as _obs
+from repro.obs.metrics import MetricsRegistry
 from repro.pagestore.store import StoreSnapshot, validate_snapshot_shape
 
 __all__ = [
@@ -103,6 +105,7 @@ class TieredPageStore:
         fast_params: DiskParameters | None = None,
         params: DiskParameters | None = None,
         promote_after: int = 2,
+        metrics: MetricsRegistry | None = None,
     ):
         if fast_pages < 1:
             raise ConfigurationError(
@@ -131,11 +134,30 @@ class TieredPageStore:
         # (static: permanent homes; cache policies: current copies).
         self._resident: OrderedDict[int, None] = OrderedDict()
         self._counts: dict[int, int] = {}
-        self.promotions = 0
-        self.demotions = 0
-        self.invalidations = 0
+        # Migration counters live in the metrics registry
+        # (``tier.promotions`` etc.); the promotions/demotions/
+        # invalidations properties below are thin views over them.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._promotions = self.metrics.counter("tier.promotions")
+        self._demotions = self.metrics.counter("tier.demotions")
+        self._invalidations = self.metrics.counter("tier.invalidations")
         self._response_ms = 0.0
         self._epoch = 0
+
+    @property
+    def promotions(self) -> int:
+        """Pages copied into the fast tier so far."""
+        return int(self._promotions.value)
+
+    @property
+    def demotions(self) -> int:
+        """Fast-tier copies dropped by the LRU budget so far."""
+        return int(self._demotions.value)
+
+    @property
+    def invalidations(self) -> int:
+        """Fast-tier copies killed by write-invalidate so far."""
+        return int(self._invalidations.value)
 
     # ------------------------------------------------------------------
     # placement surface
@@ -210,10 +232,19 @@ class TieredPageStore:
         for run_start, run_pages in runs:
             self.fast.write(run_start, run_pages, not first)
             first = False
-        self.promotions += len(pages)
+        self._promotions.inc(len(pages))
+        demoted = 0
         while len(self._resident) > self.fast_pages:
             self._resident.popitem(last=False)
-            self.demotions += 1
+            demoted += 1
+        if demoted:
+            self._demotions.inc(demoted)
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.instant(
+                "tier.promote",
+                cat="tier",
+                args={"pages": len(pages), "demoted": demoted},
+            )
 
     def _after_read(self, start: int, npages: int) -> None:
         """Apply the migration policy to one demand-read run."""
@@ -286,11 +317,20 @@ class TieredPageStore:
         invalidate any fast copies (write-invalidate)."""
         if self.migration == "static":
             return self._transfer("write", [(start, npages)], continuation)
+        invalidated = 0
         for page in range(start, start + npages):
             if page in self._resident:
                 del self._resident[page]
-                self.invalidations += 1
+                invalidated += 1
             self._counts.pop(page, None)
+        if invalidated:
+            self._invalidations.inc(invalidated)
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.instant(
+                    "tier.invalidate",
+                    cat="tier",
+                    args={"pages": invalidated},
+                )
         cost = self.capacity.write(start, npages, continuation)
         self._response_ms += cost
         return cost
@@ -379,6 +419,17 @@ class TieredPageStore:
         measure from zero instead of going negative."""
         self.fast.reset()
         self.capacity.reset()
+        self._response_ms = 0.0
+        self._epoch += 1
+
+    def reset_stats(self) -> None:
+        """Zero I/O statistics only — head positions, tier residency and
+        migration counters are preserved (the unified mid-run reset
+        convention; migration counters belong to the metrics registry
+        and are zeroed by its own ``reset_stats``).  Bumps the reset
+        epoch so stale snapshots measure from zero."""
+        self.fast.reset_stats()
+        self.capacity.reset_stats()
         self._response_ms = 0.0
         self._epoch += 1
 

@@ -99,6 +99,7 @@ class SpatialOrganization(abc.ABC):
         pool: BufferPool | None = None,
         scheduler=None,
         prefetch=None,
+        metrics=None,
     ):
         self.disk = disk or DiskModel()
         self.allocator = allocator or PageAllocator()
@@ -125,6 +126,8 @@ class SpatialOrganization(abc.ABC):
                 scheduler=scheduler,
                 prefetcher=prefetch,
                 allocator=self.allocator,
+                metrics=metrics,
+                metrics_label=f"{self.region_prefix}.query",
             )
         )
 

@@ -39,6 +39,8 @@ from repro.geometry.feature import SpatialObject
 from repro.geometry.rect import Rect
 from repro.iosched.admission import admission_name, make_admission
 from repro.iosched.scheduler import OverlapScheduler, device_times, scheduler_name
+from repro.obs import trace as _obs
+from repro.obs.metrics import percentile as _percentile
 from repro.storage.base import SpatialOrganization
 
 __all__ = [
@@ -56,12 +58,10 @@ def latency_percentile(latencies, q: float) -> float:
     """Nearest-rank percentile of a latency sample (0.0 when empty).
 
     Deterministic and interpolation-free: the reported p95 is an actual
-    observed operation latency, not a synthetic midpoint."""
-    if not latencies:
-        return 0.0
-    ordered = sorted(latencies)
-    rank = int(-(-q * len(ordered) // 1))  # ceil
-    return ordered[min(max(rank, 1), len(ordered)) - 1]
+    observed operation latency, not a synthetic midpoint.  The shared
+    implementation lives in :func:`repro.obs.metrics.percentile` so the
+    metrics registry's histograms report identical percentiles."""
+    return _percentile(latencies, q)
 
 OP_KINDS = ("window", "point", "insert", "delete", "join")
 """Operation kinds understood by the engine.
@@ -131,11 +131,20 @@ class PhaseStats:
 
 @dataclass(slots=True)
 class WorkloadReport:
-    """Outcome of one :meth:`WorkloadEngine.run`."""
+    """Outcome of one :meth:`WorkloadEngine.run`.
+
+    The ``prefetch_*`` fields carry the pool's prefetch accuracy over
+    this run: plans issued, pages read ahead, pages later demand-hit
+    (useful) vs evicted unused (wasted).  All zero when the pool has no
+    prefetcher."""
 
     policy: str
     buffer_pages: int
     phases: list[PhaseStats] = field(default_factory=list)
+    prefetch_issued: int = 0
+    prefetch_pages: int = 0
+    prefetch_useful: int = 0
+    prefetch_wasted: int = 0
 
     def phase(self, kind: str) -> PhaseStats | None:
         for p in self.phases:
@@ -205,7 +214,7 @@ class WorkloadReport:
         header = title or (
             f"workload: policy={self.policy}, buffer={self.buffer_pages} pages"
         )
-        return format_table(
+        table = format_table(
             (
                 "phase",
                 "ops",
@@ -220,6 +229,14 @@ class WorkloadReport:
             rows,
             title=header,
         )
+        if self.prefetch_pages or self.prefetch_issued:
+            table += (
+                f"\nprefetch: {self.prefetch_issued} plans, "
+                f"{self.prefetch_pages} pages read ahead, "
+                f"{self.prefetch_useful} useful, "
+                f"{self.prefetch_wasted} wasted"
+            )
+        return table
 
 
 @dataclass(slots=True)
@@ -363,17 +380,34 @@ class WorkloadEngine:
             policy=self.pool.policy, buffer_pages=self.pool.capacity
         )
         scheduler = self._timed_scheduler()
+        tracer = _obs.ACTIVE
+        session_span = None
+        if tracer is not None:
+            tracer.use_virtual_clock(scheduler is not None)
+            tracer.set_track("main")
+            session_span = tracer.begin(
+                "session",
+                cat="session",
+                ts=0.0 if scheduler is not None else None,
+                parent=None,
+                args={"client": "main"},
+            )
+        prefetch_mark = self.pool.prefetch_stats()
         phases: dict[str, PhaseStats] = {}
         with self.storage.use_pool(self.pool):
             for op in operations:
                 self._snapshot()
                 if scheduler is not None:
                     started = scheduler.clock.client_time("main")
+                    op_span = self._begin_op(tracer, session_span, started)
                     with scheduler.operation("main"):
                         kind, results = self._execute(op)
                     waited = scheduler.clock.client_time("main") - started
+                    self._end_op(tracer, op_span, kind, started + waited)
                 else:
+                    op_span = self._begin_op(tracer, session_span, None)
                     kind, results = self._execute(op)
+                    self._end_op(tracer, op_span, kind, None)
                     waited = None
                 phase = phases.get(kind)
                 if phase is None:
@@ -383,8 +417,42 @@ class WorkloadEngine:
                 phase.results += results
                 latency = self._account(phase, response_ms=waited)
                 phase.latencies.append(latency)
+                self.pool.metrics.histogram("op.latency_ms", phase=kind).observe(
+                    latency
+                )
             self._flush_phase(report, scheduler)
+        self._fold_prefetch(report, prefetch_mark)
+        if tracer is not None:
+            tracer.end(session_span)
         return report
+
+    @staticmethod
+    def _begin_op(tracer, session_span, started):
+        """Open an operation span under the client's session span; the
+        kind is only known after execution, so it starts as ``op`` and
+        :meth:`_end_op` renames it."""
+        if tracer is None:
+            return None
+        if started is not None:
+            tracer.virtual_now = started
+        return tracer.begin(
+            "op", cat="operation", ts=started, parent=session_span
+        )
+
+    @staticmethod
+    def _end_op(tracer, op_span, kind, finished):
+        if tracer is None:
+            return
+        op_span.name = kind
+        tracer.end(op_span, ts=finished)
+
+    def _fold_prefetch(self, report: WorkloadReport, mark) -> None:
+        """Record the run's prefetch accuracy delta in the report."""
+        now = self.pool.prefetch_stats()
+        report.prefetch_issued = now["issued"] - mark["issued"]
+        report.prefetch_pages = now["pages"] - mark["pages"]
+        report.prefetch_useful = now["useful"] - mark["useful"]
+        report.prefetch_wasted = now["wasted"] - mark["wasted"]
 
     def _timed_scheduler(self) -> OverlapScheduler | None:
         """The pool's scheduler when it times operations on a virtual
@@ -458,6 +526,20 @@ class WorkloadEngine:
             clients.append(stats)
             queues.append((stats, deque(ops)))
         report.clients = clients
+        tracer = _obs.ACTIVE
+        session_spans: dict[str, object] = {}
+        if tracer is not None:
+            tracer.use_virtual_clock(timed)
+            for client in clients:
+                session_spans[client.name] = tracer.begin(
+                    "session",
+                    cat="session",
+                    track=client.name,
+                    ts=0.0 if timed else None,
+                    parent=None,
+                    args={"client": client.name},
+                )
+        prefetch_mark = self.pool.prefetch_stats()
         try:
             with self.storage.use_pool(self.pool):
                 while any(queue for _, queue in queues):
@@ -466,10 +548,15 @@ class WorkloadEngine:
                             continue
                         op = queue.popleft()
                         self._snapshot()
+                        if tracer is not None:
+                            tracer.set_track(client.name)
                         if timed:
                             started = scheduler.clock.client_time(client.name)
                             queued_mark = scheduler.client_queueing_ms(
                                 client.name
+                            )
+                            op_span = self._begin_op(
+                                tracer, session_spans.get(client.name), started
                             )
                             with scheduler.operation(client.name):
                                 kind, results = self._execute(op)
@@ -477,12 +564,17 @@ class WorkloadEngine:
                                 scheduler.clock.client_time(client.name)
                                 - started
                             )
+                            self._end_op(tracer, op_span, kind, started + waited)
                             client.queueing_ms += (
                                 scheduler.client_queueing_ms(client.name)
                                 - queued_mark
                             )
                         else:
+                            op_span = self._begin_op(
+                                tracer, session_spans.get(client.name), None
+                            )
                             kind, results = self._execute(op)
+                            self._end_op(tracer, op_span, kind, None)
                             waited = self.storage.disk.cost_since(
                                 self._measure_mark
                             ).response_ms
@@ -500,14 +592,30 @@ class WorkloadEngine:
                         client.response_ms += waited
                         client.latencies.append(waited)
                         client.device_ms += phase.io.total_ms - device_before
+                        self.pool.metrics.histogram(
+                            "op.latency_ms", client=client.name
+                        ).observe(waited)
                 self._flush_phase(report, scheduler)
         finally:
             if admission_policy is not None:
                 scheduler.admission = previous_admission
+        self._fold_prefetch(report, prefetch_mark)
         if timed:
             report.makespan_ms = scheduler.clock.makespan
         else:
             report.makespan_ms = report.total_response_ms
+        if tracer is not None:
+            for client in clients:
+                span = session_spans.get(client.name)
+                if span is not None:
+                    tracer.end(
+                        span,
+                        ts=(
+                            scheduler.clock.client_time(client.name)
+                            if timed
+                            else None
+                        ),
+                    )
         return report
 
     def _flush_phase(
@@ -521,18 +629,34 @@ class WorkloadEngine:
         the synchronous accounting does."""
         flush = PhaseStats("flush")
         self._snapshot()
+        tracer = _obs.ACTIVE
         if scheduler is not None:
+            issued = max(scheduler.clock.clients.values(), default=0.0)
+            flush_span = None
+            if tracer is not None:
+                # Anchor the flush's device spans at the issue time; the
+                # write-back prices outside scheduler.execute, so they
+                # fall back to per-device cursors >= virtual_now.
+                tracer.virtual_now = issued
+                flush_span = tracer.begin(
+                    "flush", cat="flush", track="main", ts=issued, parent=None
+                )
             before = device_times(self.storage.disk)
             self.pool.flush(coalesce=True)
             work = [
                 now - then
                 for now, then in zip(device_times(self.storage.disk), before)
             ]
-            issued = max(scheduler.clock.clients.values(), default=0.0)
             completion = scheduler.clock.dispatch(issued, work)
+            if tracer is not None:
+                tracer.end(flush_span, ts=completion)
             self._account(flush, response_ms=completion - issued)
         else:
-            self.pool.flush(coalesce=True)
+            if tracer is not None:
+                with tracer.span("flush", cat="flush", track="main"):
+                    self.pool.flush(coalesce=True)
+            else:
+                self.pool.flush(coalesce=True)
             self._account(flush)
         if flush.io.requests:
             flush.operations = 1
