@@ -6,10 +6,11 @@ tree construction, window/point-query batches, the full spatial join
 and a mixed workload run, under both the vectorized kernels and the
 ``REPRO_SCALAR_KERNELS`` fallback (:mod:`repro.core.kernels`), and
 writes the medians, machine-normalized scores and speedups to
-``BENCH_<bench>.json`` so future PRs have a perf trajectory.  Two
-benches exist: ``query_kernels`` (per-layer kernel scenarios) and
+``BENCH_<bench>.json`` so future PRs have a perf trajectory.  Three
+benches exist: ``query_kernels`` (per-layer kernel scenarios),
 ``flat_tree`` (the structure-of-arrays snapshot layer and the
-organization-level batch path).
+organization-level batch path) and ``traffic`` (the virtual-clock
+scheduler path under generated arrival traffic, old vs new clock).
 
 Run them with ``python -m repro.eval bench [--bench flat_tree]``.
 """
@@ -20,7 +21,16 @@ from repro.bench.harness import (
     calibrate,
     main,
     run_bench,
+    run_traffic_bench,
     write_json,
 )
 
-__all__ = ["BENCH_NAME", "BENCHES", "calibrate", "main", "run_bench", "write_json"]
+__all__ = [
+    "BENCH_NAME",
+    "BENCHES",
+    "calibrate",
+    "main",
+    "run_bench",
+    "run_traffic_bench",
+    "write_json",
+]

@@ -1,6 +1,6 @@
 """The wall-clock benchmark harness (``python -m repro.eval bench``).
 
-Two benches share the harness (select with ``--bench``):
+Three benches share the harness (select with ``--bench``):
 
 * ``query_kernels`` (default, ``BENCH_query_kernels.json``) — the
   per-layer scenarios below;
@@ -9,7 +9,19 @@ Two benches share the harness (select with ``--bench``):
   organization-level batch path end-to-end (where the org scenarios
   report ``(answers, io_ms)`` and the harness's outcome-equality
   assertion doubles as a pricing-equivalence check between the merged
-  batch plans and the per-query scalar path).
+  batch plans and the per-query scalar path);
+* ``traffic`` (``BENCH_traffic.json``) — the virtual-clock scheduler
+  path under generated traffic: for each session count it drives an
+  open-loop Poisson run end-to-end (throughput, interactive p99),
+  records the exact ``(disk, at, work)`` dispatch sequence, and
+  replays that sequence through the bisect-indexed
+  :class:`~repro.iosched.scheduler.VirtualClock` and the historical
+  O(n)-scan :class:`~repro.iosched.scheduler.IntervalListClock` —
+  timing only the clock, asserting bit-identical placements, and
+  reporting ``clock_speedup = old_replay_s / new_replay_s``.  Above
+  ``TRAFFIC_OLD_CLOCK_CAP`` sessions the old-clock replay is skipped
+  (its quadratic scan would take longer than every other bench
+  combined) and only the new clock is timed.
 
 Methodology
 -----------
@@ -87,6 +99,15 @@ FLAT_SCENARIOS = (
     "point_org",
 )
 """flat_tree scenario names, in run order (must match the builder)."""
+
+TRAFFIC_SESSION_COUNTS = (1_000, 10_000, 100_000)
+"""Default session counts the traffic bench sweeps."""
+
+TRAFFIC_OLD_CLOCK_CAP = 20_000
+"""Largest session count replayed through the O(n)-scan
+:class:`~repro.iosched.scheduler.IntervalListClock`; beyond it the
+quadratic scan dominates the whole bench's wall clock, so only the
+bisect-indexed clock is timed."""
 
 _CALIBRATION_N = 1_000_000
 
@@ -298,11 +319,236 @@ def _build_flat_scenarios(scale: float, seed: int, series: str, queries: int):
     ]
 
 
+# ----------------------------------------------------------------------
+# the traffic bench (virtual-clock scheduler path)
+# ----------------------------------------------------------------------
+def _recording_clock():
+    """A :class:`~repro.iosched.scheduler.VirtualClock` that records
+    every ``(disk, at, work)`` reservation it services, so the exact
+    dispatch sequence of an end-to-end traffic run can be replayed
+    through other clock implementations."""
+    from repro.iosched.scheduler import VirtualClock
+
+    class RecordingClock(VirtualClock):
+        __slots__ = ("dispatches",)
+
+        def __init__(self):
+            super().__init__()
+            self.dispatches: list[tuple[int, float, float]] = []
+
+        def reserve(self, disk: int, at: float, work: float) -> float:
+            self.dispatches.append((disk, at, work))
+            return super().reserve(disk, at, work)
+
+    return RecordingClock()
+
+
+def _replay_dispatches(clock_cls, dispatches, n_disks: int):
+    """Feed a recorded dispatch sequence through a fresh clock, timing
+    only the reservation calls; returns ``(seconds, begins, clock)``."""
+    clock = clock_cls()
+    clock._ensure(n_disks)
+    reserve = clock.reserve
+    start = time.perf_counter()
+    begins = [reserve(disk, at, work) for disk, at, work in dispatches]
+    return time.perf_counter() - start, begins, clock
+
+
+def run_traffic_bench(
+    sessions: tuple[int, ...] | list[int] | None = None,
+    scale: float = 0.05,
+    seed: int = 1994,
+    series: str = "A-1",
+    repeat: int = 3,
+    rate_per_s: float = 20.0,
+    buffer_pages: int = 64,
+    disks: int = 4,
+    old_clock_cap: int = TRAFFIC_OLD_CLOCK_CAP,
+) -> dict:
+    """The virtual-clock scheduler-path bench; returns the JSON-ready
+    result document.
+
+    The small ``buffer_pages`` pool and moderate ``rate_per_s`` put the
+    disks around 60% utilization — the regime where idle gaps and busy
+    intervals interleave, the per-disk interval lists fragment into
+    thousands of entries, and the historical clock's linear scans go
+    quadratic over the run.  (Overload is *not* the interesting case
+    for the clock: back-to-back tail placements merge into a handful of
+    intervals and both implementations are O(1) there.)
+    """
+    from repro.data.tiger import generate_map
+    from repro.database import SpatialDatabase
+    from repro.eval.config import ExperimentConfig
+    from repro.iosched.scheduler import IntervalListClock, VirtualClock
+    from repro.workload.traffic import make_traffic
+
+    counts = tuple(sessions) if sessions else TRAFFIC_SESSION_COUNTS
+    if any(n <= 0 for n in counts):
+        raise ValueError(f"session counts must be positive: {counts}")
+    calibration_s = calibrate()
+    config = ExperimentConfig(scale=scale, seed=seed)
+    spec = config.spec(series)
+    objects = generate_map(spec, seed=config.seed)
+
+    doc: dict = {
+        "name": "traffic",
+        "created_unix": int(time.time()),
+        "config": {
+            "scale": scale,
+            "seed": seed,
+            "series": series,
+            "sessions": list(counts),
+            "rate_per_s": rate_per_s,
+            "buffer_pages": buffer_pages,
+            "disks": disks,
+            "repeat": repeat,
+            "old_clock_cap": old_clock_cap,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "calibration_s": calibration_s,
+        },
+        "runs": {},
+    }
+    try:
+        import numpy
+
+        doc["machine"]["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        pass
+
+    for n in counts:
+        traffic = make_traffic(
+            objects,
+            n,
+            arrival="poisson",
+            rate_per_s=rate_per_s,
+            seed=config.seed + 29,
+        )
+        db = SpatialDatabase(
+            smax_bytes=spec.smax_bytes,
+            n_disks=disks,
+            placement="spatial",
+            scheduler="overlap",
+        )
+        db.build(objects)
+        recorder = _recording_clock()
+        db.scheduler.clock = recorder
+        start = time.perf_counter()
+        report = db.run_traffic(traffic, buffer_pages=buffer_pages)
+        run_s = time.perf_counter() - start
+        dispatches = recorder.dispatches
+
+        new_times = []
+        new_outcome = None
+        for _ in range(repeat):
+            elapsed, begins, clock = _replay_dispatches(
+                VirtualClock, dispatches, disks
+            )
+            new_times.append(elapsed)
+            new_outcome = (begins, clock._busy, clock.disk_free)
+        new_replay_s = statistics.median(new_times)
+
+        old_replay_s = None
+        clock_speedup = None
+        if n <= old_clock_cap:
+            old_times = []
+            old_outcome = None
+            for _ in range(repeat):
+                elapsed, begins, clock = _replay_dispatches(
+                    IntervalListClock, dispatches, disks
+                )
+                old_times.append(elapsed)
+                old_outcome = (begins, clock._busy, clock.disk_free)
+            old_replay_s = statistics.median(old_times)
+            # The equivalence canary: both clocks must place every
+            # reservation of the recorded run identically.
+            if old_outcome != new_outcome:
+                raise AssertionError(
+                    f"clock implementations disagree on placements at "
+                    f"{n} sessions"
+                )
+            clock_speedup = (
+                old_replay_s / new_replay_s
+                if new_replay_s > 0
+                else float("inf")
+            )
+
+        interactive = report.traffic_class("interactive")
+        doc["runs"][str(n)] = {
+            "sessions": n,
+            "run_s": run_s,
+            "run_norm": run_s / calibration_s,
+            "reserves": len(dispatches),
+            "intervals_max": max(
+                (len(busy) for busy in recorder._busy), default=0
+            ),
+            "makespan_ms": report.makespan_ms,
+            "throughput_per_s": report.throughput_per_s,
+            "interactive_p99_ms": interactive.p99_ms if interactive else 0.0,
+            "new_replay_s": new_replay_s,
+            "old_replay_s": old_replay_s,
+            "clock_speedup": clock_speedup,
+        }
+    return doc
+
+
+def format_traffic_report(doc: dict) -> str:
+    from repro.eval.report import format_table
+
+    rows = []
+    for run in doc["runs"].values():
+        old_ms = (
+            f"{run['old_replay_s'] * 1000:.1f}"
+            if run["old_replay_s"] is not None
+            else "-"
+        )
+        speedup = (
+            f"{run['clock_speedup']:.1f}x"
+            if run["clock_speedup"] is not None
+            else "-"
+        )
+        rows.append(
+            (
+                run["sessions"],
+                f"{run['run_s']:.2f}",
+                run["reserves"],
+                run["intervals_max"],
+                f"{run['throughput_per_s']:.1f}",
+                f"{run['interactive_p99_ms']:.1f}",
+                f"{run['new_replay_s'] * 1000:.1f}",
+                old_ms,
+                speedup,
+            )
+        )
+    return format_table(
+        (
+            "sessions",
+            "run s",
+            "reserves",
+            "intervals",
+            "sessions/s",
+            "int p99 ms",
+            "new clock ms",
+            "old clock ms",
+            "speedup",
+        ),
+        rows,
+        title=f"traffic scheduler path (replay median of "
+        f"{doc['config']['repeat']}, calibration "
+        f"{doc['machine']['calibration_s'] * 1000:.1f} ms)",
+    )
+
+
 BENCHES: dict = {
     "query_kernels": (SCENARIOS, _build_scenarios, "query-kernel"),
     "flat_tree": (FLAT_SCENARIOS, _build_flat_scenarios, "flat-tree"),
+    "traffic": (None, None, "traffic"),
 }
-"""Bench name -> (scenario names, builder, report-title prefix)."""
+"""Bench name -> (scenario names, builder, report-title prefix); the
+``traffic`` bench has its own runner (:func:`run_traffic_bench`) instead
+of the kernel-mode scenario loop."""
 
 
 # ----------------------------------------------------------------------
@@ -316,12 +562,28 @@ def run_bench(
     repeat: int = 5,
     only: list[str] | None = None,
     bench: str = BENCH_NAME,
+    sessions: list[int] | None = None,
 ) -> dict:
     """Measure every scenario under both kernel modes; returns the
-    JSON-ready result document."""
+    JSON-ready result document.  The ``traffic`` bench delegates to
+    :func:`run_traffic_bench` (``sessions`` selects its sweep; ``only``
+    and ``queries`` do not apply)."""
     if bench not in BENCHES:
         raise ValueError(
             f"unknown bench '{bench}'; valid: {list(BENCHES)}"
+        )
+    if bench == "traffic":
+        if only:
+            raise ValueError(
+                "the traffic bench has no scenario selection; "
+                "use sessions= to pick its sweep"
+            )
+        return run_traffic_bench(
+            sessions=sessions,
+            scale=scale,
+            seed=seed,
+            series=series,
+            repeat=repeat,
         )
     names, builder, _title = BENCHES[bench]
     if only:
@@ -398,6 +660,8 @@ def write_json(doc: dict, path: str) -> None:
 def format_report(doc: dict) -> str:
     from repro.eval.report import format_table
 
+    if doc["name"] == "traffic":
+        return format_traffic_report(doc)
     rows = [
         (
             name,
@@ -449,6 +713,11 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated scenario names to run",
     )
     parser.add_argument(
+        "--sessions", type=str, default=None,
+        help="traffic bench only: comma-separated session counts "
+        f"(default {','.join(str(n) for n in TRAFFIC_SESSION_COUNTS)})",
+    )
+    parser.add_argument(
         "--output", type=str, default=None, metavar="PATH",
         help="result JSON path (default BENCH_<bench>.json)",
     )
@@ -460,6 +729,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.only
         else None
     )
+    sessions = None
+    if args.sessions:
+        try:
+            sessions = [
+                int(n.strip()) for n in args.sessions.split(",") if n.strip()
+            ]
+        except ValueError:
+            parser.error(f"--sessions needs integer counts: {args.sessions!r}")
     output = args.output or f"BENCH_{args.bench}.json"
 
     try:
@@ -471,6 +748,7 @@ def main(argv: list[str] | None = None) -> int:
             repeat=args.repeat,
             only=only,
             bench=args.bench,
+            sessions=sessions,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -397,6 +397,34 @@ class SpatialDatabase:
             sessions, admission=admission
         )
 
+    def run_traffic(
+        self,
+        sessions,
+        buffer_pages: int = 1600,
+        policy: str = "lru",
+        admission=None,
+    ):
+        """Drive generated traffic — a list of
+        :class:`~repro.workload.traffic.TrafficSession` with arrival
+        times and think times — through the overlap scheduler's virtual
+        clock.
+
+        Unlike :meth:`run_sessions` (round-robin over a handful of
+        scripted clients), operations become ready by *arrival time*:
+        open-loop sessions dispatch when they arrive whether or not the
+        system kept up, closed-loop sessions pace themselves with think
+        time.  Requires ``scheduler="overlap"``.  ``admission`` applies
+        an admission-control policy for this run only.  Returns a
+        :class:`~repro.workload.engine.TrafficReport` with per-class
+        latency percentiles and open-loop throughput.
+        """
+        from repro.workload.engine import WorkloadEngine
+
+        pool = self._workload_pool(buffer_pages, policy)
+        return WorkloadEngine(self.storage, pool).run_traffic(
+            sessions, admission=admission
+        )
+
     def _workload_pool(self, buffer_pages: int, policy: str) -> BufferPool:
         """A caching pool on this database's disk, scheduler and
         prefetcher (the workload/sessions engines' shared pool)."""

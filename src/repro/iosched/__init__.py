@@ -40,6 +40,7 @@ from repro.iosched.request import AccessPlan, IORequest
 from repro.iosched.scheduler import (
     SCHEDULERS,
     SYNC,
+    IntervalListClock,
     IOScheduler,
     OverlapScheduler,
     SyncScheduler,
@@ -55,6 +56,7 @@ __all__ = [
     "SyncScheduler",
     "OverlapScheduler",
     "VirtualClock",
+    "IntervalListClock",
     "SCHEDULERS",
     "SYNC",
     "make_scheduler",

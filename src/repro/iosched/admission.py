@@ -173,6 +173,16 @@ class PriorityAdmission(TokenBucketAdmission):
     default_class:
         Class of clients absent from ``classes`` (default
         ``interactive`` — admission is opt-in per bulk client).
+    classifier:
+        Optional callable mapping a client name to its service class,
+        consulted for clients absent from ``classes`` before falling
+        back to ``default_class``.  This is how generated traffic
+        (10^4-10^5 session names) classifies without enumerating every
+        name up front — e.g.
+        ``PriorityAdmission(classifier=class_of_session)`` with the
+        traffic generator's ``int-``/``ana-`` name prefixes.  A
+        classifier returning an unknown class is a configuration error
+        at admit time.
     rate, burst_ms:
         Token-bucket parameters applied to the analytics class (see
         :class:`TokenBucketAdmission`); the default rate is deliberately
@@ -188,6 +198,7 @@ class PriorityAdmission(TokenBucketAdmission):
         default_class: str = "interactive",
         rate: float = 0.25,
         burst_ms: float = 60.0,
+        classifier=None,
     ):
         super().__init__(rate=rate, burst_ms=burst_ms)
         if default_class not in ADMISSION_CLASSES:
@@ -202,11 +213,27 @@ class PriorityAdmission(TokenBucketAdmission):
                     f"unknown admission class '{cls}' for client "
                     f"'{client}'; valid: {ADMISSION_CLASSES}"
                 )
+        if classifier is not None and not callable(classifier):
+            raise ConfigurationError(
+                f"classifier must be callable, got {classifier!r}"
+            )
+        self.classifier = classifier
         self.default_class = default_class
 
     def class_of(self, client: str) -> str:
         """The service class of a client."""
-        return self.classes.get(client, self.default_class)
+        cls = self.classes.get(client)
+        if cls is not None:
+            return cls
+        if self.classifier is not None:
+            cls = self.classifier(client)
+            if cls not in ADMISSION_CLASSES:
+                raise ConfigurationError(
+                    f"classifier returned unknown admission class {cls!r} "
+                    f"for client '{client}'; valid: {ADMISSION_CLASSES}"
+                )
+            return cls
+        return self.default_class
 
     def admit(self, client: str, at: float, clock) -> float:
         if self.class_of(client) == "interactive":

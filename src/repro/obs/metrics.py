@@ -41,7 +41,19 @@ __all__ = [
     "MetricsRegistry",
     "metric_key",
     "percentile",
+    "percentile_sorted",
 ]
+
+
+def percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample; 0.0 when
+    empty.  The shared kernel behind :func:`percentile` and the cached
+    sorted copies the reporting paths keep (one sort per report, not
+    one per percentile query)."""
+    if not ordered:
+        return 0.0
+    rank = int(-(-q * len(ordered) // 1))  # ceil
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -52,9 +64,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not values:
         return 0.0
-    ordered = sorted(values)
-    rank = int(-(-q * len(ordered) // 1))  # ceil
-    return ordered[min(max(rank, 1), len(ordered)) - 1]
+    return percentile_sorted(sorted(values), q)
 
 
 def metric_key(name: str, labels: dict[str, str]) -> str:
@@ -103,15 +113,22 @@ class Gauge:
 
 
 class Histogram:
-    """Observation store with nearest-rank percentile summaries."""
+    """Observation store with nearest-rank percentile summaries.
 
-    __slots__ = ("name", "labels", "key", "values")
+    Percentile queries sort a cached copy of the observations once and
+    reuse it until new observations arrive (the cache is keyed on the
+    sample size), so reporting several percentiles — or re-reading the
+    same snapshot — does not re-sort a large sample each time.
+    """
+
+    __slots__ = ("name", "labels", "key", "values", "_sorted")
 
     def __init__(self, name: str, labels: dict[str, str]) -> None:
         self.name = name
         self.labels = labels
         self.key = metric_key(name, labels)
         self.values: list[float] = []
+        self._sorted: list[float] | None = None
 
     def observe(self, value: float) -> None:
         self.values.append(value)
@@ -124,8 +141,16 @@ class Histogram:
     def sum(self) -> float:
         return float(sum(self.values))
 
+    def sorted_values(self) -> list[float]:
+        """The observations in ascending order (cached between
+        observations)."""
+        cache = self._sorted
+        if cache is None or len(cache) != len(self.values):
+            cache = self._sorted = sorted(self.values)
+        return cache
+
     def percentile(self, q: float) -> float:
-        return percentile(self.values, q)
+        return percentile_sorted(self.sorted_values(), q)
 
     def snapshot_items(self) -> list[tuple[str, float]]:
         """Flattened ``(key, value)`` rows for :meth:`MetricsRegistry.snapshot`."""
@@ -141,6 +166,7 @@ class Histogram:
 
     def reset(self) -> None:
         self.values.clear()
+        self._sorted = None
 
 
 class MetricsRegistry:

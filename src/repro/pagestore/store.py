@@ -43,6 +43,7 @@ from repro.disk.model import (
     measure_costs,
 )
 from repro.disk.params import DiskParameters
+from repro.obs import trace as _obs
 from repro.errors import ConfigurationError
 from repro.pagestore.placement import PlacementPolicy, make_placement
 
@@ -212,16 +213,44 @@ class ShardedPageStore:
         caller's assertion that the arms involved are already
         positioned (Section 5.4.3 reads inside one cluster unit —
         units are pinned whole, so the assertion concerns one arm)."""
-        per_disk: dict[int, float] = {}
+        if _obs.ACTIVE is not None:
+            # Keep the historical per-fragment interleaving so the span
+            # tracer sees device records in issue order.
+            per_disk: dict[int, float] = {}
+            for start, npages in runs:
+                for disk, frag_start, frag_pages in self._fragments(start, npages):
+                    device = self.disks[disk]
+                    frag_continuation = True if disk in per_disk else continuation
+                    cost = getattr(device, kind)(
+                        frag_start, frag_pages, frag_continuation
+                    )
+                    per_disk[disk] = per_disk.get(disk, 0.0) + cost
+            if not per_disk:
+                return 0.0
+            response = max(per_disk.values())
+            self._response_ms += response
+            return response
+        # Group each disk's fragments (in issue order) and price them as
+        # one batch per device: the device's first fragment carries the
+        # caller's continuation flag, follow-ups are continuations —
+        # exactly the per-fragment loop's flags — and large batches hit
+        # the vectorized DiskModel pricer.  Per-device request sequences
+        # are unchanged, so stats, heads, and costs are bit-identical.
+        grouped: dict[int, list[tuple[int, int]]] = {}
         for start, npages in runs:
             for disk, frag_start, frag_pages in self._fragments(start, npages):
-                device = self.disks[disk]
-                frag_continuation = True if disk in per_disk else continuation
-                cost = getattr(device, kind)(frag_start, frag_pages, frag_continuation)
-                per_disk[disk] = per_disk.get(disk, 0.0) + cost
-        if not per_disk:
+                frags = grouped.get(disk)
+                if frags is None:
+                    grouped[disk] = [(frag_start, frag_pages)]
+                else:
+                    frags.append((frag_start, frag_pages))
+        if not grouped:
             return 0.0
-        response = max(per_disk.values())
+        response = 0.0
+        for disk, frags in grouped.items():
+            cost = self.disks[disk].price_runs(frags, continuation, kind)
+            if cost > response:
+                response = cost
         self._response_ms += response
         return response
 

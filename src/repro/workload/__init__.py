@@ -18,20 +18,38 @@ from repro.workload.engine import (
     ClientStats,
     PhaseStats,
     SessionsReport,
+    TrafficReport,
     WorkloadEngine,
     WorkloadReport,
 )
 from repro.workload.streams import mixed_stream
 from repro.workload.trace import load_trace, save_trace
+from repro.workload.traffic import (
+    ARRIVALS,
+    TRAFFIC_CLASSES,
+    TrafficSession,
+    class_of_session,
+    load_traffic,
+    make_traffic,
+    save_traffic,
+)
 
 __all__ = [
     "OP_KINDS",
     "PhaseStats",
     "ClientStats",
     "SessionsReport",
+    "TrafficReport",
     "WorkloadEngine",
     "WorkloadReport",
     "mixed_stream",
     "save_trace",
     "load_trace",
+    "ARRIVALS",
+    "TRAFFIC_CLASSES",
+    "TrafficSession",
+    "class_of_session",
+    "make_traffic",
+    "save_traffic",
+    "load_traffic",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 
 from repro.buffer.policy import hit_ratio
 from repro.buffer.pool import BufferPool
@@ -41,6 +42,7 @@ from repro.iosched.admission import admission_name, make_admission
 from repro.iosched.scheduler import OverlapScheduler, device_times, scheduler_name
 from repro.obs import trace as _obs
 from repro.obs.metrics import percentile as _percentile
+from repro.obs.metrics import percentile_sorted as _percentile_sorted
 from repro.storage.base import SpatialOrganization
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "WorkloadReport",
     "ClientStats",
     "SessionsReport",
+    "TrafficReport",
     "WorkloadEngine",
     "latency_percentile",
 ]
@@ -97,20 +100,39 @@ class PhaseStats:
     io: DiskStats = field(default_factory=DiskStats)
     response_ms: float = 0.0
     latencies: list[float] = field(default_factory=list)
+    # Cached ascending copy of ``latencies`` (keyed on sample size):
+    # percentile properties on a 10^5-operation phase must not re-sort
+    # the full sample per access.
+    _sorted: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def hit_rate(self) -> float:
         return hit_ratio(self.hits, self.misses)
 
+    def sorted_latencies(self) -> list[float]:
+        """The phase's latencies in ascending order, sorted once per
+        report (re-sorted only after new observations)."""
+        cache = self._sorted
+        if cache is None or len(cache) != len(self.latencies):
+            cache = self._sorted = sorted(self.latencies)
+        return cache
+
     @property
     def p50_ms(self) -> float:
         """Median per-operation latency of this phase."""
-        return latency_percentile(self.latencies, 0.50)
+        return _percentile_sorted(self.sorted_latencies(), 0.50)
 
     @property
     def p95_ms(self) -> float:
         """95th-percentile per-operation latency of this phase."""
-        return latency_percentile(self.latencies, 0.95)
+        return _percentile_sorted(self.sorted_latencies(), 0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile per-operation latency of this phase."""
+        return _percentile_sorted(self.sorted_latencies(), 0.99)
 
     @property
     def overlap_ms(self) -> float:
@@ -259,16 +281,36 @@ class ClientStats:
     device_ms: float = 0.0
     queueing_ms: float = 0.0
     latencies: list[float] = field(default_factory=list)
+    #: Sessions aggregated into this row (1 for a plain client; the
+    #: per-class rows of a traffic run count their sessions here).
+    sessions: int = 0
+    # Cached ascending copy of ``latencies`` (see PhaseStats._sorted).
+    _sorted: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def sorted_latencies(self) -> list[float]:
+        """The client's latencies in ascending order, sorted once per
+        report (re-sorted only after new observations)."""
+        cache = self._sorted
+        if cache is None or len(cache) != len(self.latencies):
+            cache = self._sorted = sorted(self.latencies)
+        return cache
 
     @property
     def p50_ms(self) -> float:
         """Median operation latency of this client."""
-        return latency_percentile(self.latencies, 0.50)
+        return _percentile_sorted(self.sorted_latencies(), 0.50)
 
     @property
     def p95_ms(self) -> float:
         """95th-percentile operation latency of this client."""
-        return latency_percentile(self.latencies, 0.95)
+        return _percentile_sorted(self.sorted_latencies(), 0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile operation latency of this client."""
+        return _percentile_sorted(self.sorted_latencies(), 0.99)
 
 
 @dataclass(slots=True)
@@ -344,6 +386,83 @@ class SessionsReport(WorkloadReport):
                 rows,
                 title="per-client sessions",
             )
+        )
+        return "\n\n".join(parts)
+
+
+@dataclass(slots=True)
+class TrafficReport(WorkloadReport):
+    """Outcome of one :meth:`WorkloadEngine.run_traffic`.
+
+    The per-phase table aggregates over all sessions; ``classes``
+    breaks the run down per traffic class (``interactive`` /
+    ``analytics`` rows instead of one row per generated session —
+    10^5-session traffic cannot report per client).  ``makespan_ms`` is
+    the virtual clock's latest event; ``throughput_per_s`` the
+    completed-sessions rate over that horizon.
+    """
+
+    scheduler: str = "overlap"
+    admission: str = "none"
+    arrival: str = "poisson"
+    sessions: int = 0
+    makespan_ms: float = 0.0
+    classes: list[ClientStats] = field(default_factory=list)
+
+    def traffic_class(self, name: str) -> ClientStats | None:
+        for c in self.classes:
+            if c.name == name:
+                return c
+        return None
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Completed sessions per virtual second of makespan."""
+        if self.makespan_ms <= 0.0:
+            return 0.0
+        return self.sessions / (self.makespan_ms / 1000.0)
+
+    def format(self, title: str | None = None) -> str:
+        from repro.eval.report import format_table
+
+        header = title or (
+            f"traffic: arrival={self.arrival}, sessions={self.sessions}, "
+            f"scheduler={self.scheduler}, admission={self.admission}, "
+            f"policy={self.policy}, buffer={self.buffer_pages} pages"
+        )
+        # Explicit base call: zero-argument super() loses its class
+        # cell when @dataclass(slots=True) rebuilds the class.
+        parts = [WorkloadReport.format(self, header)]
+        rows = [
+            (
+                c.name,
+                c.sessions,
+                c.operations,
+                c.queueing_ms,
+                c.p50_ms,
+                c.p95_ms,
+                c.p99_ms,
+            )
+            for c in self.classes
+        ]
+        parts.append(
+            format_table(
+                (
+                    "class",
+                    "sessions",
+                    "ops",
+                    "queue ms",
+                    "p50 ms",
+                    "p95 ms",
+                    "p99 ms",
+                ),
+                rows,
+                title="per-class latency",
+            )
+        )
+        parts.append(
+            f"makespan {self.makespan_ms:.1f} ms, "
+            f"{self.throughput_per_s:.1f} sessions/s"
         )
         return "\n\n".join(parts)
 
@@ -616,6 +735,148 @@ class WorkloadEngine:
                             else None
                         ),
                     )
+        return report
+
+    def run_traffic(self, sessions, admission=None, arrival="poisson") -> TrafficReport:
+        """Drive arriving traffic sessions through the virtual clock.
+
+        ``sessions`` is a sequence of
+        :class:`~repro.workload.traffic.TrafficSession` (or anything
+        with ``name`` / ``klass`` / ``arrival_ms`` / ``operations`` /
+        ``think_ms``).  An event heap orders operation readiness: a
+        session's first operation becomes ready at its arrival, each
+        follow-up at the previous completion plus think time — so
+        open-loop arrivals pile onto the disks regardless of progress
+        while closed-loop sessions pace themselves.  Ready operations
+        execute in event order (deterministic: ties break on session
+        index), each inside its own virtual-clock session, so 10^4-10^5
+        concurrent sessions contend for arms exactly like
+        :meth:`run_sessions` clients.
+
+        Per-operation latency is measured from the operation's ready
+        time (arrival-to-completion for a session's first operation),
+        including admission delay and queueing behind busy arms.
+        Statistics aggregate per traffic *class*, not per session —
+        ``op.latency_ms{class=...}`` histograms in the pool's metrics
+        registry carry the full latency distributions (p50/p95/p99) —
+        and the scheduler's per-client metrics mirroring is suspended
+        for the run so 10^5 generated names don't flood the registry.
+        Traffic needs the overlap scheduler; per-operation span tracing
+        is not emitted (a 10^5-session trace would be unreadable —
+        use :meth:`run_sessions` for traced small-scale replays).
+
+        ``admission`` installs an admission policy for this run only,
+        exactly as in :meth:`run_sessions` — but here a throttled
+        operation is *re-queued* on the event heap at its admitted time
+        rather than served in arrival order, so unthrottled traffic
+        genuinely overtakes paced bulk work.  ``arrival`` labels the
+        report.
+        """
+        sessions = list(sessions)
+        scheduler = self._timed_scheduler()
+        if scheduler is None:
+            raise ConfigurationError(
+                "traffic runs need the overlap scheduler — arrivals and "
+                "queueing live on the virtual clock"
+            )
+        admission_policy = make_admission(admission)
+        previous_admission = scheduler.admission
+        if admission_policy is not None:
+            scheduler.admission = admission_policy
+            admission_policy.reset()
+        saved_metrics = scheduler.metrics
+        scheduler.metrics = None
+        report = TrafficReport(
+            policy=self.pool.policy,
+            buffer_pages=self.pool.capacity,
+            scheduler=scheduler_name(self.pool.scheduler),
+            admission=admission_name(scheduler.admission),
+            arrival=arrival,
+            sessions=len(sessions),
+        )
+        phases: dict[str, PhaseStats] = {}
+        classes: dict[str, ClientStats] = {}
+        class_hists: dict[str, object] = {}
+        clock = scheduler.clock
+        # Event heap of (ready_ms, session_index, operation_index,
+        # first_ready_ms) — the last element survives admission
+        # re-queues so latency stays measured from the time the
+        # operation first became ready.
+        heap = [
+            (s.arrival_ms, i, 0, s.arrival_ms)
+            for i, s in enumerate(sessions)
+            if s.operations
+        ]
+        heapify(heap)
+        prefetch_mark = self.pool.prefetch_stats()
+        try:
+            with self.storage.use_pool(self.pool):
+                while heap:
+                    ready, index, step, first_ready = heappop(heap)
+                    session = sessions[index]
+                    name = session.name
+                    admission = scheduler.admission
+                    if admission is not None:
+                        # A throttled operation re-enters the event
+                        # queue at its admitted time instead of holding
+                        # its slot, so other clients' ready work
+                        # overtakes it — the reordering that lets
+                        # interactive operations pass paced bulk work.
+                        # (Token buckets admit idempotently: when the
+                        # re-queued event pops, the drained bucket has
+                        # refilled to exactly zero and the scheduler's
+                        # own admit adds no second wait.)
+                        admitted = admission.admit(name, ready, clock)
+                        if admitted > ready:
+                            heappush(heap, (admitted, index, step, first_ready))
+                            continue
+                    clock.wait(name, ready)
+                    queued_mark = scheduler.client_queueing_ms(name)
+                    self._snapshot()
+                    with scheduler.operation(name):
+                        kind, results = self._execute(session.operations[step])
+                    done = clock.client_time(name)
+                    waited = done - first_ready
+                    phase = phases.get(kind)
+                    if phase is None:
+                        phase = phases[kind] = PhaseStats(kind)
+                        report.phases.append(phase)
+                    phase.operations += 1
+                    phase.results += results
+                    device_before = phase.io.total_ms
+                    self._account(phase, response_ms=waited)
+                    phase.latencies.append(waited)
+                    klass = classes.get(session.klass)
+                    if klass is None:
+                        klass = classes[session.klass] = ClientStats(
+                            session.klass
+                        )
+                        report.classes.append(klass)
+                        class_hists[session.klass] = self.pool.metrics.histogram(
+                            "op.latency_ms", **{"class": session.klass}
+                        )
+                    if step == 0:
+                        klass.sessions += 1
+                    klass.operations += 1
+                    klass.results += results
+                    klass.response_ms += waited
+                    klass.latencies.append(waited)
+                    klass.queueing_ms += (
+                        scheduler.client_queueing_ms(name) - queued_mark
+                    ) + (ready - first_ready)
+                    klass.device_ms += phase.io.total_ms - device_before
+                    class_hists[session.klass].observe(waited)
+                    step += 1
+                    if step < len(session.operations):
+                        follow_up = done + session.think_ms
+                        heappush(heap, (follow_up, index, step, follow_up))
+                self._flush_phase(report, scheduler)
+        finally:
+            scheduler.metrics = saved_metrics
+            if admission_policy is not None:
+                scheduler.admission = previous_admission
+        self._fold_prefetch(report, prefetch_mark)
+        report.makespan_ms = clock.makespan
         return report
 
     def _flush_phase(

@@ -1,0 +1,300 @@
+"""Traffic generation: arrival processes over the workload format.
+
+The workload engine's session runner replays a handful of scripted
+clients; production traffic is tens of thousands of short sessions
+arriving under a stochastic process.  :func:`make_traffic` builds that
+traffic deterministically (seeded) over a stored map:
+
+* **open-loop** arrivals — sessions arrive whether or not earlier ones
+  finished, the regime where queues actually build:
+
+  - ``poisson``: independent exponential inter-arrival gaps at a fixed
+    mean rate;
+  - ``bursty``: Poisson bursts — geometrically-sized batches of
+    simultaneous arrivals at a batch rate that preserves the mean
+    session rate (heavy-tailed instantaneous load);
+  - ``diurnal``: a Poisson process whose instantaneous rate follows a
+    sinusoidal day curve (peak/trough around the mean rate);
+
+* **closed-loop** arrivals (``closed``) — a fixed population of clients
+  that each run several operations separated by think time; load is
+  self-limiting (a slow system slows its own arrival stream down).
+
+Each :class:`TrafficSession` carries ordinary workload operation tuples
+(the :data:`repro.workload.engine.OP_KINDS` format), sampled from
+seeded query pools: interactive sessions issue point queries and small
+windows, analytics sessions large windows.  Session names encode the
+class (``int-``/``ana-`` prefixes) so admission policies can classify
+generated clients by name (:func:`class_of_session`,
+``PriorityAdmission(classifier=...)``).
+
+:func:`save_traffic`/:func:`load_traffic` persist traffic as JSONL —
+one session per line, operations in the same encoding as
+:mod:`repro.workload.trace` — so a generated load is replayable and
+diffable like any workload trace.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.data.workload import point_workload, window_workload
+from repro.errors import ConfigurationError
+from repro.geometry.feature import SpatialObject
+from repro.workload.trace import _decode, _encode
+
+__all__ = [
+    "ARRIVALS",
+    "TRAFFIC_CLASSES",
+    "TrafficSession",
+    "class_of_session",
+    "make_traffic",
+    "save_traffic",
+    "load_traffic",
+]
+
+ARRIVALS = ("poisson", "bursty", "diurnal", "closed")
+"""Valid arrival-process names for every ``arrival=`` knob."""
+
+TRAFFIC_CLASSES = ("interactive", "analytics")
+"""Session classes the generator emits (and admission distinguishes)."""
+
+
+@dataclass(slots=True)
+class TrafficSession:
+    """One arriving client session.
+
+    ``arrival_ms`` is the virtual time the session enters the system;
+    ``operations`` its scripted operation tuples; ``think_ms`` the idle
+    gap between an operation's completion and the next operation's
+    readiness (0 for open-loop one-shot sessions)."""
+
+    name: str
+    klass: str
+    arrival_ms: float
+    operations: list[tuple] = field(default_factory=list)
+    think_ms: float = 0.0
+
+
+def class_of_session(name: str) -> str:
+    """Traffic class encoded in a generated session name (``ana-``
+    prefix marks analytics; everything else is interactive) — the
+    default classifier for admission over generated traffic."""
+    return "analytics" if name.startswith("ana-") else "interactive"
+
+
+def _arrival_times(
+    arrival: str,
+    n_sessions: int,
+    rate_per_s: float,
+    rng: random.Random,
+    burst_size: float,
+    diurnal_period_s: float,
+    diurnal_amplitude: float,
+) -> list[float]:
+    """Arrival instants in virtual ms, non-decreasing, seeded."""
+    times: list[float] = []
+    t_ms = 0.0
+    if arrival == "closed":
+        return [0.0] * n_sessions
+    if arrival == "poisson":
+        for _ in range(n_sessions):
+            t_ms += rng.expovariate(rate_per_s) * 1000.0
+            times.append(t_ms)
+        return times
+    if arrival == "bursty":
+        # Bursts arrive as a Poisson process at rate/burst_size; each
+        # carries a geometric number of simultaneous sessions with mean
+        # burst_size, so the long-run session rate stays rate_per_s.
+        p = 1.0 / max(burst_size, 1.0)
+        burst_left = 0
+        while len(times) < n_sessions:
+            if burst_left <= 0:
+                t_ms += rng.expovariate(rate_per_s * p) * 1000.0
+                burst_left = 1
+                while rng.random() > p:
+                    burst_left += 1
+            times.append(t_ms)
+            burst_left -= 1
+        return times
+    if arrival == "diurnal":
+        # Non-homogeneous Poisson: the instantaneous rate follows one
+        # sinusoidal "day" of diurnal_period_s virtual seconds.
+        floor = 0.05
+        for _ in range(n_sessions):
+            phase = 2.0 * math.pi * (t_ms / 1000.0) / diurnal_period_s
+            rate = rate_per_s * (1.0 + diurnal_amplitude * math.sin(phase))
+            rate = max(rate, floor * rate_per_s)
+            t_ms += rng.expovariate(rate) * 1000.0
+            times.append(t_ms)
+        return times
+    raise ConfigurationError(
+        f"unknown arrival process '{arrival}'; valid: {ARRIVALS}"
+    )
+
+
+def make_traffic(
+    objects: Sequence[SpatialObject],
+    n_sessions: int,
+    *,
+    arrival: str = "poisson",
+    rate_per_s: float = 200.0,
+    seed: int = 1994,
+    analytics_fraction: float = 0.05,
+    ops_per_session: int = 1,
+    analytics_ops: int = 8,
+    think_ms: float = 50.0,
+    burst_size: float = 16.0,
+    diurnal_period_s: float = 60.0,
+    diurnal_amplitude: float = 0.8,
+    window_area: float = 1e-3,
+    analytics_area: float = 2e-2,
+    pool_size: int = 512,
+    data_space: float | None = None,
+) -> list[TrafficSession]:
+    """Generate ``n_sessions`` seeded sessions under an arrival process.
+
+    Query geometry is sampled from pre-generated pools (``pool_size``
+    small windows + their center points, plus a pool of
+    ``analytics_area`` windows), so generating 10^5 sessions costs
+    list-indexing, not 10^5 workload constructions.  ``rate_per_s`` is
+    the mean arrival rate in sessions per *virtual* second (ignored by
+    the closed-loop process, whose population all starts at 0 and paces
+    itself with ``think_ms``).  Interactive sessions issue 1 to
+    ``ops_per_session`` small operations; analytics sessions 1 to
+    ``analytics_ops`` back-to-back large windows (bulk scans — the
+    multi-operation shape admission pacing needs a handle on).
+    Deterministic for a fixed seed and parameter set.
+    """
+    if n_sessions < 0:
+        raise ConfigurationError(f"n_sessions must be >= 0, got {n_sessions}")
+    if arrival not in ARRIVALS:
+        raise ConfigurationError(
+            f"unknown arrival process '{arrival}'; valid: {ARRIVALS}"
+        )
+    if rate_per_s <= 0.0:
+        raise ConfigurationError(f"rate_per_s must be > 0, got {rate_per_s}")
+    if not (0.0 <= analytics_fraction <= 1.0):
+        raise ConfigurationError(
+            f"analytics_fraction must be in [0, 1], got {analytics_fraction}"
+        )
+    if n_sessions == 0:
+        return []
+    extra = {"data_space": data_space} if data_space is not None else {}
+    windows = window_workload(
+        list(objects), window_area, n_queries=pool_size, seed=seed, **extra
+    )
+    points = point_workload(windows)
+    analytics_windows = window_workload(
+        list(objects),
+        analytics_area,
+        n_queries=max(pool_size // 8, 1),
+        seed=seed + 1,
+        **extra,
+    )
+    rng = random.Random(seed)
+    times = _arrival_times(
+        arrival,
+        n_sessions,
+        rate_per_s,
+        rng,
+        burst_size,
+        diurnal_period_s,
+        diurnal_amplitude,
+    )
+    closed = arrival == "closed"
+    min_ops = max(ops_per_session, 1)
+    # Analytics sessions are bulk scans: several back-to-back large
+    # windows, the shape a per-client token bucket can actually pace
+    # (a one-operation session is over before its post-debit matters).
+    bulk_ops = max(analytics_ops, 1)
+    sessions: list[TrafficSession] = []
+    for i, at in enumerate(times):
+        analytics = rng.random() < analytics_fraction
+        if analytics:
+            name = f"ana-{i:06d}"
+            n_ops = rng.randint(1, bulk_ops)
+            ops = [
+                ("window", analytics_windows[rng.randrange(len(analytics_windows))])
+                for _ in range(n_ops)
+            ]
+        else:
+            name = f"int-{i:06d}"
+            n_ops = rng.randint(1, min_ops)
+            ops = []
+            for _ in range(n_ops):
+                if rng.random() < 0.5:
+                    ops.append(
+                        ("window", windows[rng.randrange(len(windows))])
+                    )
+                else:
+                    x, y = points[rng.randrange(len(points))]
+                    ops.append(("point", x, y))
+        sessions.append(
+            TrafficSession(
+                name=name,
+                klass="analytics" if analytics else "interactive",
+                arrival_ms=at,
+                operations=ops,
+                think_ms=think_ms if closed else 0.0,
+            )
+        )
+    return sessions
+
+
+def save_traffic(sessions: Iterable[TrafficSession], path) -> int:
+    """Persist traffic as JSONL (one session per line, operations in
+    the workload trace encoding); returns the session count."""
+    lines = []
+    for s in sessions:
+        lines.append(
+            json.dumps(
+                {
+                    "session": s.name,
+                    "class": s.klass,
+                    "arrival_ms": s.arrival_ms,
+                    "think_ms": s.think_ms,
+                    "ops": [_encode(op) for op in s.operations],
+                },
+                separators=(", ", ": "),
+            )
+        )
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def load_traffic(path, join_with=None) -> list[TrafficSession]:
+    """Read a JSONL traffic file back into sessions (the inverse of
+    :func:`save_traffic`)."""
+    sessions: list[TrafficSession] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "session" not in record:
+            raise ConfigurationError(
+                f"{path}:{lineno}: expected a session object, got {record!r}"
+            )
+        sessions.append(
+            TrafficSession(
+                name=record["session"],
+                klass=record.get("class", class_of_session(record["session"])),
+                arrival_ms=float(record.get("arrival_ms", 0.0)),
+                operations=[
+                    _decode(op, join_with) for op in record.get("ops", [])
+                ],
+                think_ms=float(record.get("think_ms", 0.0)),
+            )
+        )
+    return sessions

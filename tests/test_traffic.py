@@ -1,0 +1,301 @@
+"""The traffic generator and the event-heap traffic runner.
+
+Covers :mod:`repro.workload.traffic` (arrival processes, class mix,
+JSONL persistence), :meth:`WorkloadEngine.run_traffic` through the
+database facade (determinism, per-class accounting, admission
+classification and re-queueing), and the cached percentile paths the
+10^5-operation runs depend on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import SpatialDatabase
+from repro.errors import ConfigurationError
+from repro.iosched.admission import PriorityAdmission
+from repro.obs.metrics import Histogram, percentile
+from repro.workload.engine import ClientStats, PhaseStats, TrafficReport
+from repro.workload.traffic import (
+    ARRIVALS,
+    TrafficSession,
+    class_of_session,
+    load_traffic,
+    make_traffic,
+    save_traffic,
+)
+
+from tests.conftest import make_objects
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return make_objects(200, seed=5)
+
+
+def generate(objects, n=300, **kwargs):
+    kwargs.setdefault("data_space", 10_000.0)
+    kwargs.setdefault("seed", 42)
+    return make_traffic(objects, n, **kwargs)
+
+
+class TestGenerator:
+    def test_deterministic_for_fixed_seed(self, objects):
+        a = generate(objects)
+        b = generate(objects)
+        assert [(s.name, s.klass, s.arrival_ms, s.operations) for s in a] == [
+            (s.name, s.klass, s.arrival_ms, s.operations) for s in b
+        ]
+        c = generate(objects, seed=43)
+        assert [s.arrival_ms for s in a] != [s.arrival_ms for s in c]
+
+    @pytest.mark.parametrize("arrival", ARRIVALS)
+    def test_arrivals_non_decreasing(self, objects, arrival):
+        sessions = generate(objects, arrival=arrival)
+        times = [s.arrival_ms for s in sessions]
+        assert len(sessions) == 300
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(t >= 0.0 for t in times)
+
+    def test_poisson_rate_sets_mean_gap(self, objects):
+        sessions = generate(objects, n=2000, rate_per_s=100.0)
+        span_s = sessions[-1].arrival_ms / 1000.0
+        # 2000 arrivals at 100/s: ~20 s span (generous tolerance).
+        assert 14.0 < span_s < 28.0
+
+    def test_bursty_preserves_mean_rate(self, objects):
+        sessions = generate(
+            objects, n=2000, arrival="bursty", rate_per_s=100.0, burst_size=16.0
+        )
+        span_s = sessions[-1].arrival_ms / 1000.0
+        assert 10.0 < span_s < 32.0
+        # Bursts mean repeated identical arrival instants.
+        times = [s.arrival_ms for s in sessions]
+        assert len(set(times)) < len(times) / 2
+
+    def test_closed_population_starts_at_zero_with_think_time(self, objects):
+        sessions = generate(
+            objects, n=50, arrival="closed", think_ms=75.0, ops_per_session=3
+        )
+        assert all(s.arrival_ms == 0.0 for s in sessions)
+        assert all(s.think_ms == 75.0 for s in sessions)
+
+    def test_open_loop_sessions_have_no_think_time(self, objects):
+        sessions = generate(objects, n=50, think_ms=75.0)
+        assert all(s.think_ms == 0.0 for s in sessions)
+
+    def test_class_fraction_and_name_prefixes(self, objects):
+        sessions = generate(objects, n=2000, analytics_fraction=0.2)
+        analytics = [s for s in sessions if s.klass == "analytics"]
+        assert 0.12 < len(analytics) / len(sessions) < 0.28
+        for s in sessions:
+            assert class_of_session(s.name) == s.klass
+            assert s.name.startswith(("int-", "ana-"))
+            assert s.operations
+        # Analytics sessions are multi-op bulk scans of large windows.
+        assert any(len(s.operations) > 1 for s in analytics)
+        assert all(op[0] == "window" for s in analytics for op in s.operations)
+
+    def test_interactive_mixes_windows_and_points(self, objects):
+        sessions = generate(objects, n=500)
+        kinds = {
+            op[0]
+            for s in sessions
+            if s.klass == "interactive"
+            for op in s.operations
+        }
+        assert kinds == {"window", "point"}
+
+    def test_zero_sessions(self, objects):
+        assert generate(objects, n=0) == []
+
+    def test_rejects_bad_parameters(self, objects):
+        with pytest.raises(ConfigurationError):
+            generate(objects, n=-1)
+        with pytest.raises(ConfigurationError):
+            generate(objects, arrival="fractal")
+        with pytest.raises(ConfigurationError):
+            generate(objects, rate_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            generate(objects, analytics_fraction=1.5)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, objects, tmp_path):
+        sessions = generate(objects, n=40, arrival="closed", think_ms=10.0)
+        path = tmp_path / "traffic.jsonl"
+        assert save_traffic(sessions, path) == 40
+        loaded = load_traffic(path)
+        assert [
+            (s.name, s.klass, s.arrival_ms, s.think_ms, s.operations)
+            for s in sessions
+        ] == [
+            (s.name, s.klass, s.arrival_ms, s.think_ms, s.operations)
+            for s in loaded
+        ]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            load_traffic(path)
+        path.write_text('{"no_session": 1}\n')
+        with pytest.raises(ConfigurationError):
+            load_traffic(path)
+
+    def test_load_defaults_class_from_name(self, tmp_path):
+        path = tmp_path / "traffic.jsonl"
+        path.write_text(
+            '{"session": "ana-000001", "ops": [{"op": "point", "x": 1.0, "y": 2.0}]}\n'
+        )
+        (session,) = load_traffic(path)
+        assert session.klass == "analytics"
+        assert session.arrival_ms == 0.0
+        assert session.operations == [("point", 1.0, 2.0)]
+
+
+def traffic_db(n_disks=4, scheduler="overlap"):
+    db = SpatialDatabase(
+        smax_bytes=16 * 4096, n_disks=n_disks, scheduler=scheduler
+    )
+    return db
+
+
+class TestRunTraffic:
+    def test_requires_overlap_scheduler(self, objects):
+        db = traffic_db(scheduler="sync")
+        db.build(objects)
+        with pytest.raises(ConfigurationError):
+            db.run_traffic(generate(objects, n=5))
+
+    def test_report_consistency(self, objects):
+        db = traffic_db()
+        db.build(objects)
+        sessions = generate(objects, n=120, rate_per_s=300.0)
+        report = db.run_traffic(sessions, buffer_pages=128)
+        assert isinstance(report, TrafficReport)
+        assert report.sessions == 120
+        assert report.scheduler == "overlap"
+        assert report.arrival == "poisson"
+        assert report.makespan_ms > 0.0
+        assert report.throughput_per_s > 0.0
+        total_ops = sum(len(s.operations) for s in sessions)
+        assert sum(c.operations for c in report.classes) == total_ops
+        assert sum(c.sessions for c in report.classes) == 120
+        # Per-class latency histograms live in the metrics registry.
+        for c in report.classes:
+            hist = db.metrics.get(f"op.latency_ms{{class={c.name}}}")
+            assert hist is not None and hist.count == c.operations
+            assert hist.percentile(0.99) == c.p99_ms
+        # The format renders without blowing up and names each class.
+        text = report.format()
+        for c in report.classes:
+            assert c.name in text
+
+    def test_deterministic_across_runs(self, objects):
+        sessions = generate(objects, n=80, rate_per_s=200.0)
+
+        def once():
+            db = traffic_db()
+            db.build(objects)
+            return db.run_traffic(sessions, buffer_pages=128)
+
+        first, second = once(), once()
+        assert first.makespan_ms == second.makespan_ms
+        assert first.format() == second.format()
+
+    def test_no_per_session_metrics_flood(self, objects):
+        db = traffic_db()
+        db.build(objects)
+        db.run_traffic(generate(objects, n=60), buffer_pages=128)
+        client_keys = [
+            name
+            for name in db.metrics.names()
+            if "client=int-" in name or "client=ana-" in name
+        ]
+        assert client_keys == []
+
+    def test_closed_loop_runs_and_paces(self, objects):
+        db = traffic_db()
+        db.build(objects)
+        sessions = generate(
+            objects, n=30, arrival="closed", think_ms=40.0, ops_per_session=3
+        )
+        report = db.run_traffic(sessions, buffer_pages=128)
+        total_ops = sum(len(s.operations) for s in sessions)
+        assert sum(c.operations for c in report.classes) == total_ops
+        multi = [s for s in sessions if len(s.operations) > 1]
+        assert multi  # think-time pacing actually exercised
+        assert report.makespan_ms >= 40.0 * max(
+            len(s.operations) - 1 for s in multi
+        )
+
+    def test_priority_admission_via_classifier(self, objects):
+        sessions = generate(
+            objects, n=150, rate_per_s=2000.0, analytics_fraction=0.3
+        )
+        db = traffic_db()
+        db.build(objects)
+        baseline = db.run_traffic(sessions, buffer_pages=96)
+        db2 = traffic_db()
+        db2.build(objects)
+        policy = PriorityAdmission(
+            classifier=class_of_session, rate=0.02, burst_ms=5.0
+        )
+        paced = db2.run_traffic(sessions, buffer_pages=96, admission=policy)
+        assert paced.admission == "priority"
+        # Pacing pushes analytics completions later.
+        base_ana = baseline.traffic_class("analytics")
+        paced_ana = paced.traffic_class("analytics")
+        assert paced_ana.queueing_ms > base_ana.queueing_ms
+        # The run-scoped policy is uninstalled afterwards.
+        assert db2.scheduler.admission is None
+
+    def test_admission_restored_and_metrics_reattached(self, objects):
+        db = traffic_db()
+        db.build(objects)
+        saved_metrics = db.scheduler.metrics
+        db.run_traffic(
+            generate(objects, n=20),
+            buffer_pages=96,
+            admission=PriorityAdmission(classifier=class_of_session),
+        )
+        assert db.scheduler.admission is None
+        assert db.scheduler.metrics is saved_metrics
+
+
+class TestPercentileCaching:
+    def test_histogram_cache_invalidated_by_append(self):
+        hist = Histogram("lat", {})
+        for v in (5.0, 1.0, 3.0):
+            hist.observe(v)
+        assert hist.percentile(0.5) == 3.0
+        # Appending AFTER a read must invalidate the cached sort.
+        hist.observe(0.5)
+        assert hist.sorted_values() == [0.5, 1.0, 3.0, 5.0]
+        assert hist.percentile(1.0) == 5.0
+        hist.reset()
+        assert hist.percentile(0.5) == 0.0
+
+    def test_phase_stats_percentiles_match_uncached(self):
+        stats = PhaseStats("window")
+        stats.latencies.extend([9.0, 2.0, 7.0, 4.0])
+        assert stats.p50_ms == percentile([9.0, 2.0, 7.0, 4.0], 0.50)
+        stats.latencies.append(1.0)
+        assert stats.p50_ms == percentile([9.0, 2.0, 7.0, 4.0, 1.0], 0.50)
+        assert stats.p99_ms == 9.0
+
+    def test_client_stats_percentiles_match_uncached(self):
+        stats = ClientStats("alpha")
+        stats.latencies.extend([10.0, 30.0, 20.0])
+        assert stats.p95_ms == percentile([10.0, 30.0, 20.0], 0.95)
+        stats.latencies.append(40.0)
+        assert stats.p99_ms == 40.0
+        assert stats.sorted_latencies() == [10.0, 20.0, 30.0, 40.0]
+
+
+class TestSessionDataclass:
+    def test_defaults(self):
+        session = TrafficSession(name="int-000000", klass="interactive", arrival_ms=3.5)
+        assert session.operations == []
+        assert session.think_ms == 0.0
