@@ -439,6 +439,59 @@ class SpatialDatabase:
             metrics_label=f"{self.name}.workload",
         )
 
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str, materialize: bool = True, store=None) -> int:
+        """Checkpoint this database into a file-backed page store.
+
+        Writes the placement catalog (allocator regions, R*-tree,
+        extent tables, cluster-unit bookkeeping) as checksummed pages
+        under the crash-safe shadow-superblock protocol of
+        :class:`~repro.pagestore.file.FilePageStore`; with
+        ``materialize=True`` every allocated page of every region also
+        gets a real slot in the file.  Saving onto an existing image
+        commits a new epoch on top of the old one.  Returns the
+        committed epoch.  See :func:`repro.storage.serial.save_database`.
+        """
+        from repro.storage.serial import save_database
+
+        return save_database(self, path, materialize=materialize, store=store)
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        backing: str = "sim",
+        page_size: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "SpatialDatabase":
+        """Reopen a saved database, recovering the last committed epoch.
+
+        ``backing="sim"`` (default) rebuilds over a fresh simulated
+        disk with the saved timing constants — query answers and priced
+        I/O match the database that was saved.  ``backing="file"``
+        keeps the file as the live backing store: reads are priced
+        *and* really performed (checksum-verified) against the page
+        image.  See :func:`repro.storage.serial.open_database`.
+        """
+        from repro.storage.serial import open_database
+
+        return open_database(
+            path, backing=backing, page_size=page_size, metrics=metrics
+        )
+
+    def close(self) -> None:
+        """Release the backing store's file descriptor, if it has one.
+
+        A no-op on simulated stores; required for databases opened with
+        ``backing="file"`` (nothing is flushed — durability comes from
+        :meth:`save`, never from ``close``).
+        """
+        close = getattr(self.disk, "close", None)
+        if close is not None:
+            close()
+
     def attach(self, name: str, **kwargs) -> "SpatialDatabase":
         """A second database (relation) on this database's disk — the
         setup a spatial join needs.  The attached database shares this

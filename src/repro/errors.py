@@ -26,6 +26,12 @@ class AllocationError(DiskError):
     """The page or buddy allocator could not satisfy a request."""
 
 
+class PageCorruptionError(DiskError):
+    """A page read from the file-backed store failed its checksum (torn
+    write, bit rot, or a truncated file) and bounded retries did not
+    produce a clean copy."""
+
+
 class StorageError(ReproError):
     """An organization model was used inconsistently
     (e.g. querying an object identifier that was never inserted)."""

@@ -11,6 +11,8 @@
     python -m repro.eval tiering [--migrations none,static,promote-on-hit,lru-demote]
     python -m repro.eval bench [--scale 0.02] [--repeat 5] [--output BENCH_query_kernels.json]
     python -m repro.eval trace [--trace-out trace.json] [--metrics-out metrics.json]
+    python -m repro.eval storage [--scale 0.02] [--path db.dat]
+                                 [--report-out storage_report.json]
 
 The default mode regenerates every table and figure of the paper in
 sequence and prints the report tables; individual experiments can be
@@ -65,6 +67,17 @@ span totals against the device time the :class:`DiskStats` accounting
 measured.  The same artifacts can be captured from the workload,
 iosched and tiering subcommands with ``--trace-out`` /
 ``--metrics-out``.
+
+The ``storage`` subcommand exercises the durable file-backed page
+store end to end: it saves a built database to a real single-file page
+image, reopens it with ``backing="file"`` and cross-validates answers
+and simulated pricing against the in-memory store (reporting measured
+wall-clock alongside the simulated cost), then runs the crash
+ablation — an incremental re-save is killed at sampled write
+boundaries (clean and torn variants) and the reopened file must answer
+every query from the last durably committed checkpoint; a persistent
+bit flip must surface as :class:`~repro.errors.PageCorruptionError`.
+``--report-out`` writes the machine-readable report CI archives.
 """
 
 from __future__ import annotations
@@ -1297,6 +1310,318 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def storage_main(argv: list[str]) -> int:
+    """The ``storage`` subcommand: cross-validate simulated pricing
+    against the real file-backed store, then run the crash-injection
+    recovery ablation."""
+    import json
+    import os
+    import random
+    import shutil
+    import tempfile
+
+    from repro.data.tiger import generate_map
+    from repro.database import SpatialDatabase
+    from repro.errors import PageCorruptionError
+    from repro.pagestore import FaultyPageStore, FilePageStore, SimulatedCrash, flip_byte
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval storage",
+        description="Durability check of the file-backed page store: "
+        "save a database to a real file, reopen it file-backed, "
+        "cross-validate answers and simulated cost against the "
+        "in-memory store (reporting measured wall-clock alongside), "
+        "then crash an incremental save at sampled write boundaries "
+        "and verify recovery lands on the last committed checkpoint.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="dataset scale in (0, 1] (default 0.02 — the crash matrix "
+        "re-saves the file once per sampled boundary)",
+    )
+    parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument(
+        "--series", type=str, default="A-1", help="Table 1 series (default A-1)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=40,
+        help="window queries for the cross-validation (default 40)",
+    )
+    parser.add_argument(
+        "--path", type=str, default=None, metavar="PATH",
+        help="backing file for the page image (default: a temporary "
+        "directory, removed afterwards)",
+    )
+    parser.add_argument(
+        "--crash-points", type=int, default=8,
+        help="write boundaries sampled per torn/clean variant in the "
+        "crash matrix (default 8; boundary 0 and the final superblock "
+        "write are always included)",
+    )
+    parser.add_argument(
+        "--report-out", type=str, default=None, metavar="PATH",
+        help="write the cross-validation + crash-matrix report as JSON",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the file-backed store's metrics snapshot as JSON "
+        "(store.checksum_failures, store.retries, recovery.*)",
+    )
+    args = parser.parse_args(argv)
+    if args.queries < 1:
+        parser.error(f"--queries must be >= 1: {args.queries!r}")
+    if args.crash_points < 2:
+        parser.error(f"--crash-points must be >= 2: {args.crash_points!r}")
+
+    tmpdir = None
+    if args.path is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-storage-")
+        path = os.path.join(tmpdir, "spatial.db")
+    else:
+        path = args.path
+
+    report: dict = {"series": args.series, "scale": None, "seed": args.seed}
+    try:
+        config = ExperimentConfig(scale=args.scale, seed=args.seed)
+        report["scale"] = config.scale
+        spec = config.spec(args.series)
+        objects = generate_map(spec, seed=config.seed)
+        bound = max(
+            max(o.mbr.xmax for o in objects), max(o.mbr.ymax for o in objects)
+        )
+        rng = random.Random(config.seed + 41)
+        windows = []
+        for _ in range(args.queries):
+            x = rng.uniform(0.0, 0.9 * bound)
+            y = rng.uniform(0.0, 0.9 * bound)
+            size = 0.1 * bound
+            windows.append((x, y, x + size, y + size))
+
+        def answers(db):
+            """(sorted oids, simulated ms, wall ms) per window, from a
+            cold head each time so both stores price identical runs."""
+            out = []
+            for window in windows:
+                db.disk.invalidate_head()
+                t0 = time.perf_counter()
+                res = db.window_query(*window)
+                wall = (time.perf_counter() - t0) * 1e3
+                out.append(
+                    (sorted(o.oid for o in res.objects), res.io.total_ms, wall)
+                )
+            return out
+
+        # -- phase 1: simulated vs file-backed cross-validation ---------
+        print(
+            format_header(
+                f"file-backed page store — {args.series} "
+                f"(scale={config.scale}), {len(windows)} windows"
+            )
+        )
+        db = SpatialDatabase(smax_bytes=spec.smax_bytes)
+        db.build(objects)
+        sim = answers(db)
+        db.save(path)
+        fdb = SpatialDatabase.open(path, backing="file")
+        saved_pages = fdb.disk.mapped_pages
+        scrubbed = fdb.disk.scrub()
+        measured = answers(fdb)
+
+        mismatched = sum(1 for a, b in zip(sim, measured) if a[0] != b[0])
+        drift = max(abs(a[1] - b[1]) for a, b in zip(sim, measured))
+        sim_ms = sum(a[1] for a in sim)
+        file_ms = sum(b[1] for b in measured)
+        wall_ms = sum(b[2] for b in measured)
+        rows = [
+            ("simulated (in-memory)", f"{sim_ms:.3f}", "-", "-"),
+            (
+                "file-backed (measured)",
+                f"{file_ms:.3f}",
+                f"{wall_ms:.3f}",
+                f"{wall_ms / file_ms:.4f}" if file_ms else "-",
+            ),
+        ]
+        print()
+        print(
+            format_table(
+                ("store", "simulated ms", "wall-clock ms", "wall/sim"),
+                rows,
+                title=f"{saved_pages} pages mapped, {scrubbed} scrubbed "
+                f"clean, epoch {fdb.disk.epoch}",
+            )
+        )
+        if mismatched:
+            print(
+                f"ERROR: {mismatched}/{len(windows)} windows answered "
+                "differently after the file-backed reopen"
+            )
+            return 1
+        if drift > 1e-9:
+            print(
+                "ERROR: simulated pricing diverges between the in-memory "
+                f"and file-backed stores by up to {drift:.9f} ms"
+            )
+            return 1
+        print(
+            "file-backed reopen answers and simulated pricing match the "
+            "in-memory store exactly."
+        )
+        report["cross_validation"] = {
+            "windows": len(windows),
+            "saved_pages": saved_pages,
+            "scrubbed_pages": scrubbed,
+            "simulated_ms": sim_ms,
+            "wall_clock_ms": wall_ms,
+            "answers_match": True,
+        }
+
+        # -- phase 2: crash-at-every-boundary recovery ablation ---------
+        answers_a = [a[0] for a in sim]
+        base_epoch = fdb.disk.epoch
+        fdb.close()
+
+        next_oid = max(db.storage.objects) + 1
+        ins_rng = random.Random(config.seed + 57)
+        for i in range(10):
+            x = ins_rng.uniform(0.0, 0.8 * bound)
+            y = ins_rng.uniform(0.0, 0.8 * bound)
+            db.insert_polyline(
+                next_oid + i,
+                [(x, y), (x + 0.02 * bound, y + 0.02 * bound)],
+                size_bytes=256,
+            )
+        answers_b = [a[0] for a in answers(db)]
+
+        def save_onto(target, **faults):
+            """Incrementally re-save ``db`` onto a copy of the committed
+            base image through a fault-injecting store."""
+            store = FaultyPageStore(target, metrics=db.metrics, **faults)
+            try:
+                db.save(target, store=store)
+                return store.writes_completed
+            finally:
+                store.close()
+
+        scratch = path + ".crash"
+        shutil.copyfile(path, scratch)
+        total_writes = save_onto(scratch)
+        points = sorted(
+            {
+                round(i * (total_writes - 1) / (args.crash_points - 1))
+                for i in range(args.crash_points)
+            }
+        )
+        matrix_rows = []
+        matrix_report = []
+        failures = 0
+        for torn in (False, True):
+            for n in points:
+                shutil.copyfile(path, scratch)
+                try:
+                    save_onto(scratch, crash_after_writes=n, torn=torn)
+                    print(f"ERROR: kill point n={n} torn={torn} never fired")
+                    failures += 1
+                    continue
+                except SimulatedCrash:
+                    pass
+                probe = FilePageStore(scratch)
+                epoch = probe.epoch
+                probe.close()
+                rdb = SpatialDatabase.open(scratch)
+                got = [
+                    sorted(o.oid for o in rdb.window_query(*w).objects)
+                    for w in windows
+                ]
+                # The epoch rule: recovery lands on whichever checkpoint
+                # was durably committed.  A torn final superblock write
+                # can still be logically complete (the payload fits in
+                # the surviving half), legitimately committing the new
+                # epoch — every other boundary must roll back.
+                if epoch == base_epoch:
+                    ok, state = got == answers_a, "base"
+                elif epoch == base_epoch + 1 and torn and n == total_writes - 1:
+                    ok, state = got == answers_b, "new"
+                else:
+                    ok, state = False, f"epoch {epoch}?"
+                failures += not ok
+                matrix_rows.append(
+                    (n, "torn" if torn else "clean", epoch, state, "ok" if ok else "MISMATCH")
+                )
+                matrix_report.append(
+                    {
+                        "crash_after_writes": n,
+                        "torn": torn,
+                        "recovered_epoch": epoch,
+                        "recovered_state": state,
+                        "ok": ok,
+                    }
+                )
+        print()
+        print(
+            format_table(
+                ("crash after", "write", "epoch", "recovered", "check"),
+                matrix_rows,
+                title=f"crash matrix — {total_writes} writes per save, "
+                f"base epoch {base_epoch}",
+            )
+        )
+
+        # -- persistent media corruption must be *detected* -------------
+        shutil.copyfile(path, scratch)
+        probe = FilePageStore(scratch)
+        victim = min(probe._map.values())
+        page_size = probe.page_size
+        probe.close()
+        flip_byte(scratch, victim, page_size)
+        try:
+            cdb = SpatialDatabase.open(scratch, backing="file")
+            try:
+                cdb.disk.scrub()
+                print("ERROR: scrub missed a persistent bit flip")
+                failures += 1
+                detected = False
+            except PageCorruptionError:
+                detected = True
+            finally:
+                cdb.close()
+        except PageCorruptionError:
+            detected = True
+        if detected:
+            print(
+                f"persistent bit flip in slot {victim} detected "
+                "(PageCorruptionError), zero undetected corruptions."
+            )
+        report["crash_matrix"] = {
+            "writes_per_save": total_writes,
+            "base_epoch": base_epoch,
+            "points": matrix_report,
+            "bit_flip_detected": detected,
+            "failures": failures,
+        }
+        _export_obs(
+            None,
+            db.metrics,
+            None,
+            args.metrics_out,
+            extra={"storage": report["crash_matrix"]},
+        )
+        if args.report_out is not None:
+            with open(args.report_out, "w") as f:
+                json.dump(report, f, indent=2, sort_keys=True)
+            print(f"[report -> {args.report_out}]")
+        if failures:
+            print(f"ERROR: {failures} recovery check(s) failed")
+            return 1
+        print(
+            f"all {len(matrix_rows)} crash points recovered to the last "
+            "committed checkpoint."
+        )
+        return 0
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -1312,6 +1637,8 @@ def main(argv: list[str] | None = None) -> int:
         return tiering_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "storage":
+        return storage_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench import main as bench_main
 

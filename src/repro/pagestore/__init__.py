@@ -1,4 +1,4 @@
-"""Sharded multi-disk page stores behind the buffer pool (Section 7).
+"""Page stores behind the buffer pool (Section 7).
 
 A :class:`~repro.pagestore.store.PageStore` is the device layer the
 :class:`~repro.buffer.pool.BufferPool` prices against.  The single-disk
@@ -8,10 +8,21 @@ space across ``n_disks`` devices under a pluggable
 :class:`~repro.pagestore.placement.PlacementPolicy` (``round_robin`` /
 ``hash`` / ``spatial`` Hilbert-on-extent), pricing vectored requests
 with max-over-disks response time while preserving sum-of-device-time
-totals.  Wire it in with
-``SpatialDatabase(n_disks=4, placement="spatial")``.
+totals; the :class:`~repro.pagestore.tiered.TieredPageStore` trades
+*where a page lives* between a fast and a capacity device.  Wire them
+in with ``SpatialDatabase(n_disks=4, placement="spatial")`` or
+``SpatialDatabase(tiering="promote-on-hit")``.
+
+The :class:`~repro.pagestore.file.FilePageStore` finally makes the
+protocol durable: the same pricing surface over an actual single-file
+page image with per-page checksums and a crash-safe shadow-superblock
+checkpoint (see :mod:`repro.pagestore.file`);
+:class:`~repro.pagestore.faults.FaultyPageStore` injects deterministic
+torn writes, kill points and bit flips to prove the recovery protocol.
 """
 
+from repro.pagestore.faults import FaultyPageStore, SimulatedCrash, flip_byte
+from repro.pagestore.file import FilePageStore, decode_page, encode_page
 from repro.pagestore.placement import (
     DEFAULT_CHUNK_PAGES,
     PLACEMENTS,
@@ -30,6 +41,7 @@ from repro.pagestore.store import (
 from repro.pagestore.tiered import (
     FAST_TIER_PARAMS,
     MIGRATIONS,
+    WRITE_POLICIES,
     TieredPageStore,
 )
 
@@ -37,8 +49,15 @@ __all__ = [
     "PageStore",
     "ShardedPageStore",
     "TieredPageStore",
+    "FilePageStore",
+    "FaultyPageStore",
+    "SimulatedCrash",
+    "flip_byte",
+    "encode_page",
+    "decode_page",
     "VectoredCost",
     "MIGRATIONS",
+    "WRITE_POLICIES",
     "FAST_TIER_PARAMS",
     "validate_snapshot_shape",
     "PlacementPolicy",

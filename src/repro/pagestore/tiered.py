@@ -33,6 +33,17 @@ Two placement models, selected by the migration policy:
   — one re-reference proves warmth), ``lru-demote`` promotes on every
   read (a plain LRU tier).
 
+The cache policies support two write policies.  ``write-through``
+(default, the historical behaviour) prices every write on the capacity
+home and invalidates fast copies.  ``write-back`` prices writes of
+fast-resident pages on the *fast* tier and marks them dirty; the
+deferred capacity write is paid when the LRU budget demotes the page —
+a *copy-back*, priced on the capacity tier and counted in
+``tier.copybacks`` (demoting a clean page stays free: its home copy is
+still valid).  This closes the long-flagged accounting gap where a
+demotion silently dropped written data without ever pricing the
+write-back.
+
 Like the sharded store, the two tiers are independent devices: a
 request spanning both tiers is split into per-tier fragments, its
 response time is the max over the tiers, its device time the sum.  The
@@ -45,6 +56,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterator, Sequence
 
+from repro.buffer.pool import coalesce_pages
 from repro.disk.extent import Extent
 from repro.disk.model import DiskModel, DiskStats, VectoredCost, measure_costs
 from repro.disk.params import DiskParameters
@@ -56,12 +68,16 @@ from repro.pagestore.store import StoreSnapshot, validate_snapshot_shape
 __all__ = [
     "TieredPageStore",
     "MIGRATIONS",
+    "WRITE_POLICIES",
     "FAST_TIER_PARAMS",
     "fast_tier_params",
 ]
 
 MIGRATIONS = ("static", "promote-on-hit", "lru-demote")
 """Valid migration-policy names for every ``tiering=`` knob."""
+
+WRITE_POLICIES = ("write-through", "write-back")
+"""Valid write-policy names for the cache migration policies."""
 
 FAST_TIER_PARAMS = DiskParameters(seek_ms=2.0, latency_ms=1.0, transfer_ms=0.25)
 """Default fast-tier constants: a 2 / 1 / 0.25 ms device against the
@@ -94,6 +110,12 @@ class TieredPageStore:
     promote_after:
         ``promote-on-hit`` only: number of reads of a capacity page
         that triggers its promotion (>= 1).
+    write_policy:
+        ``write-through`` (default — capacity-home writes with
+        write-invalidate, the historical pricing) or ``write-back``
+        (fast-resident pages take writes on the fast tier and are
+        copied back to the capacity tier when demoted).  Cache
+        policies only.
     """
 
     FAST, CAPACITY = 0, 1
@@ -105,6 +127,7 @@ class TieredPageStore:
         fast_params: DiskParameters | None = None,
         params: DiskParameters | None = None,
         promote_after: int = 2,
+        write_policy: str = "write-through",
         metrics: MetricsRegistry | None = None,
     ):
         if fast_pages < 1:
@@ -119,6 +142,17 @@ class TieredPageStore:
             raise ConfigurationError(
                 f"promote_after must be >= 1, got {promote_after}"
             )
+        if write_policy not in WRITE_POLICIES:
+            raise ConfigurationError(
+                f"unknown write policy '{write_policy}'; "
+                f"valid: {WRITE_POLICIES}"
+            )
+        if write_policy == "write-back" and migration == "static":
+            raise ConfigurationError(
+                "write-back needs a cache migration policy — static "
+                "placement writes to a page's only home, there is "
+                "nothing to copy back"
+            )
         self.params = params or DiskParameters()
         self.fast_params = fast_params or FAST_TIER_PARAMS
         self.fast = DiskModel(self.fast_params)
@@ -130,10 +164,15 @@ class TieredPageStore:
         self.fast_pages = fast_pages
         self.migration = migration
         self.promote_after = promote_after
+        self.write_policy = write_policy
         # Pages whose reads are served by the fast tier, in LRU order
         # (static: permanent homes; cache policies: current copies).
         self._resident: OrderedDict[int, None] = OrderedDict()
         self._counts: dict[int, int] = {}
+        # write-back only: fast-resident pages whose latest content was
+        # never written to the capacity home (a demotion must pay the
+        # deferred capacity write).
+        self._dirty: set[int] = set()
         # Migration counters live in the metrics registry
         # (``tier.promotions`` etc.); the promotions/demotions/
         # invalidations properties below are thin views over them.
@@ -141,6 +180,7 @@ class TieredPageStore:
         self._promotions = self.metrics.counter("tier.promotions")
         self._demotions = self.metrics.counter("tier.demotions")
         self._invalidations = self.metrics.counter("tier.invalidations")
+        self._copybacks = self.metrics.counter("tier.copybacks")
         self._response_ms = 0.0
         self._epoch = 0
 
@@ -158,6 +198,17 @@ class TieredPageStore:
     def invalidations(self) -> int:
         """Fast-tier copies killed by write-invalidate so far."""
         return int(self._invalidations.value)
+
+    @property
+    def copybacks(self) -> int:
+        """Dirty pages written back to the capacity tier at demotion
+        (write-back policy only)."""
+        return int(self._copybacks.value)
+
+    @property
+    def dirty_pages(self) -> int:
+        """Fast-resident pages currently holding unwritten-back data."""
+        return len(self._dirty)
 
     # ------------------------------------------------------------------
     # placement surface
@@ -178,10 +229,12 @@ class TieredPageStore:
 
     def forget_extent(self, extent: Extent) -> None:
         """Drop a freed or relocated extent's pages from the fast tier
-        (free — the pages are dead, there is nothing to copy back)."""
+        (free — the pages are dead, there is nothing to copy back, and
+        any dirty marks die with them)."""
         for page in extent.pages():
             self._resident.pop(page, None)
             self._counts.pop(page, None)
+            self._dirty.discard(page)
 
     def _fragments(self, start: int, npages: int) -> Iterator[tuple[int, int, int]]:
         """Split ``[start, start + npages)`` into maximal runs served by
@@ -234,16 +287,33 @@ class TieredPageStore:
             first = False
         self._promotions.inc(len(pages))
         demoted = 0
+        dirty_evicted: list[int] = []
         while len(self._resident) > self.fast_pages:
-            self._resident.popitem(last=False)
+            page, _ = self._resident.popitem(last=False)
             demoted += 1
+            if page in self._dirty:
+                self._dirty.discard(page)
+                dirty_evicted.append(page)
         if demoted:
             self._demotions.inc(demoted)
+        if dirty_evicted:
+            # Demoting a written page prices the deferred capacity
+            # write (the copy-back); clean demotions stay free because
+            # the capacity home still holds the page's content.
+            first = True
+            for run_start, run_pages in coalesce_pages(sorted(dirty_evicted)):
+                self.capacity.write(run_start, run_pages, not first)
+                first = False
+            self._copybacks.inc(len(dirty_evicted))
         if _obs.ACTIVE is not None:
             _obs.ACTIVE.instant(
                 "tier.promote",
                 cat="tier",
-                args={"pages": len(pages), "demoted": demoted},
+                args={
+                    "pages": len(pages),
+                    "demoted": demoted,
+                    "copybacks": len(dirty_evicted),
+                },
             )
 
     def _after_read(self, start: int, npages: int) -> None:
@@ -314,9 +384,14 @@ class TieredPageStore:
     def write(self, start: int, npages: int = 1, continuation: bool = False) -> float:
         """Price a write.  ``static`` writes to the pages' home tiers;
         the cache policies write through to the capacity home and
-        invalidate any fast copies (write-invalidate)."""
+        invalidate any fast copies (write-invalidate), or — under
+        ``write_policy="write-back"`` — absorb writes of fast-resident
+        pages on the fast tier, deferring the capacity write to the
+        demotion-time copy-back."""
         if self.migration == "static":
             return self._transfer("write", [(start, npages)], continuation)
+        if self.write_policy == "write-back":
+            return self._write_back(start, npages, continuation)
         invalidated = 0
         for page in range(start, start + npages):
             if page in self._resident:
@@ -334,6 +409,31 @@ class TieredPageStore:
         cost = self.capacity.write(start, npages, continuation)
         self._response_ms += cost
         return cost
+
+    def _write_back(self, start: int, npages: int, continuation: bool) -> float:
+        """Write-back pricing: fast-resident fragments take the write
+        on the fast tier (marked dirty, refreshed in LRU order), the
+        rest writes to the capacity home.  Like :meth:`_transfer`, each
+        tier positions once: its first fragment takes the caller's
+        ``continuation`` flag and the response is the max over the
+        tiers."""
+        per_tier: dict[int, float] = {}
+        for tier, frag_start, frag_pages in self._fragments(start, npages):
+            device = self.disks[tier]
+            frag_continuation = True if tier in per_tier else continuation
+            cost = device.write(frag_start, frag_pages, frag_continuation)
+            per_tier[tier] = per_tier.get(tier, 0.0) + cost
+            for page in range(frag_start, frag_start + frag_pages):
+                if tier == self.FAST:
+                    self._dirty.add(page)
+                    self._resident.move_to_end(page)
+                else:
+                    self._counts.pop(page, None)
+        if not per_tier:
+            return 0.0
+        response = max(per_tier.values())
+        self._response_ms += response
+        return response
 
     def read_extent(self, extent: Extent, continuation: bool = False) -> float:
         return self.read(extent.start, extent.npages, continuation)

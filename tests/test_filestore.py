@@ -1,0 +1,239 @@
+"""Tests for the durable file-backed page store: the checksummed page
+codec (property-based: round trips, bit flips, torn writes), the
+put/get/commit surface over a real file, coalesced flushing, priced
+protocol reads, and the bounded-retry corruption handling."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.model import DiskModel
+from repro.errors import PageCorruptionError, StorageError
+from repro.obs import MetricsRegistry
+from repro.pagestore import (
+    FaultyPageStore,
+    FilePageStore,
+    decode_page,
+    encode_page,
+    flip_byte,
+)
+from repro.pagestore.file import (
+    FIRST_DATA_SLOT,
+    KIND_DATA,
+    KIND_META,
+    payload_capacity,
+)
+
+PAGE = 256  # small pages keep the property tests fast
+CAPACITY = payload_capacity(PAGE)
+
+
+# ----------------------------------------------------------------------
+# the page codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    @given(
+        payload=st.binary(max_size=CAPACITY),
+        kind=st.integers(min_value=0, max_value=3),
+    )
+    def test_round_trip(self, payload: bytes, kind: int):
+        page = encode_page(payload, PAGE, kind)
+        assert len(page) == PAGE
+        assert decode_page(page, PAGE, kind) == payload
+        assert decode_page(page, PAGE) == payload  # kind check optional
+
+    @given(
+        payload=st.binary(max_size=CAPACITY),
+        bit=st.integers(min_value=0, max_value=PAGE * 8 - 1),
+    )
+    def test_any_single_bit_flip_is_detected(self, payload: bytes, bit: int):
+        page = bytearray(encode_page(payload, PAGE))
+        page[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(PageCorruptionError):
+            decode_page(bytes(page), PAGE)
+
+    @given(payload=st.binary(max_size=CAPACITY))
+    def test_torn_write_detected_or_identical(self, payload: bytes):
+        # A torn page (leading half persisted, tail zeroed) either fails
+        # the checksum or is byte-identical to the intact page — the
+        # payload fit in the surviving half and the lost tail was
+        # padding.  There is no third outcome: a torn page can never
+        # decode to *different* bytes.
+        page = encode_page(payload, PAGE)
+        torn = page[: PAGE // 2] + b"\x00" * (PAGE - PAGE // 2)
+        if torn == page:
+            assert decode_page(torn, PAGE) == payload
+        else:
+            with pytest.raises(PageCorruptionError):
+                decode_page(torn, PAGE)
+
+    @settings(max_examples=25)
+    @given(payload=st.binary(min_size=CAPACITY // 2, max_size=CAPACITY))
+    def test_truncated_buffer_is_detected(self, payload: bytes):
+        page = encode_page(payload, PAGE)
+        with pytest.raises(PageCorruptionError):
+            decode_page(page[: PAGE - 1], PAGE)
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(StorageError):
+            encode_page(b"x" * (CAPACITY + 1), PAGE)
+
+    def test_kind_mismatch_rejected(self):
+        page = encode_page(b"payload", PAGE, KIND_DATA)
+        with pytest.raises(PageCorruptionError):
+            decode_page(page, PAGE, KIND_META)
+
+
+# ----------------------------------------------------------------------
+# the store over a real file
+# ----------------------------------------------------------------------
+class TestFilePageStore:
+    def test_put_get_commit_reopen(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        with FilePageStore(path, page_size=PAGE) as store:
+            assert store.epoch == 0
+            store.put(0, b"zero")
+            store.put(1 << 24, b"far away")  # logical pages, not offsets
+            assert store.commit(meta={"tag": "t"}) == 1
+        with FilePageStore(path, page_size=PAGE) as store:
+            assert store.epoch == 1
+            assert store.meta == {"tag": "t"}
+            assert store.get(0) == b"zero"
+            assert store.get(1 << 24) == b"far away"
+            assert store.contains(0)
+            assert not store.contains(7)
+            assert store.mapped_pages == 2
+
+    def test_uncommitted_data_does_not_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        with FilePageStore(path, page_size=PAGE) as store:
+            store.put(0, b"durable")
+            store.commit()
+            store.put(1, b"volatile")
+            store.flush()  # flushed but never committed
+        with FilePageStore(path, page_size=PAGE) as store:
+            assert store.epoch == 1
+            assert store.get(0) == b"durable"
+            assert not store.contains(1)
+
+    def test_meta_payload_chunks_round_trip(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        chunks = [b"alpha" * 10, b"beta", b"x" * CAPACITY]
+        with FilePageStore(path, page_size=PAGE) as store:
+            store.commit(meta_payloads=chunks)
+        with FilePageStore(path, page_size=PAGE) as store:
+            assert store.read_meta_pages() == chunks
+
+    def test_contiguous_flush_coalesces_into_one_pwrite(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        store = FaultyPageStore(path, page_size=PAGE)
+        for page in range(100, 110):
+            store.put(page, b"p%d" % page)
+        before = store.writes_completed
+        store.flush()
+        # Ten fresh pages land in ten contiguous slots: ONE pwrite.
+        assert store.writes_completed - before == 1
+        store.close()
+
+    def test_free_slots_are_recycled_across_commits(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        store = FilePageStore(path, page_size=PAGE)
+        for round_ in range(8):
+            store.put(3, b"round %d" % round_)
+            store.commit()
+        # Copy-on-write burns one fresh slot per round, but retired
+        # slots come back to the free list after the next commit — the
+        # file stays bounded instead of growing by a slot per round.
+        assert store.file_bytes <= PAGE * 8
+        store.close()
+
+    def test_priced_reads_match_the_plain_disk_model(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        store = FilePageStore(path, page_size=PAGE)
+        twin = DiskModel(store.model.params)
+        store.put(0, b"a")
+        store.put(1, b"b")
+        store.commit()
+        store.invalidate_head()
+        twin.invalidate_head()
+        assert store.read(0, 2) == pytest.approx(twin.read(0, 2))
+        assert store.write(5, 1) == pytest.approx(twin.write(5, 1))
+        assert store.stats().requests == twin.stats().requests
+        store.close()
+
+    def test_protocol_write_then_commit_preserves_content(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        with FilePageStore(path, page_size=PAGE) as store:
+            store.put(0, b"before")
+            store.commit()
+            store.write(0, 1)  # priced protocol write dirties the page
+            store.commit()
+            assert store.epoch == 2
+        with FilePageStore(path, page_size=PAGE) as store:
+            assert store.get(0) == b"before"  # content preserved
+
+    def test_transient_read_corruption_heals_with_retries(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        metrics = MetricsRegistry()
+        with FilePageStore(path, page_size=PAGE) as store:
+            store.put(0, b"fragile")
+            store.commit()
+        slot = FIRST_DATA_SLOT
+        store = FaultyPageStore(
+            path, page_size=PAGE, corrupt_read_slots=[slot], metrics=metrics
+        )
+        assert store.get(0) == b"fragile"
+        assert metrics.counter("store.checksum_failures").value == 1
+        assert metrics.counter("store.retries").value == 1
+        store.close()
+
+    def test_persistent_corruption_exhausts_retries(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        metrics = MetricsRegistry()
+        with FilePageStore(path, page_size=PAGE) as store:
+            store.put(0, b"doomed")
+            store.commit()
+            slot = min(store._map.values())
+        flip_byte(path, slot, PAGE)
+        with FilePageStore(path, page_size=PAGE, metrics=metrics) as store:
+            with pytest.raises(PageCorruptionError):
+                store.get(0)
+            # 1 initial attempt + read_retries=2 bounded retries.
+            assert metrics.counter("store.checksum_failures").value == 3
+            assert metrics.counter("store.retries").value == 2
+            with pytest.raises(PageCorruptionError):
+                store.scrub()
+
+    def test_zero_retries_fail_fast(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        with FilePageStore(path, page_size=PAGE) as store:
+            store.put(0, b"x")
+            store.commit()
+        store = FaultyPageStore(
+            path,
+            page_size=PAGE,
+            read_retries=0,
+            corrupt_read_slots=[FIRST_DATA_SLOT],
+        )
+        with pytest.raises(PageCorruptionError):
+            store.get(0)
+        store.close()
+
+    def test_no_valid_superblock_is_an_error(self, tmp_path):
+        path = str(tmp_path / "garbage.db")
+        with open(path, "wb") as f:
+            f.write(os.urandom(4 * PAGE))
+        with pytest.raises(PageCorruptionError):
+            FilePageStore(path, page_size=PAGE)
+
+    def test_kill_point_counts_attempts(self, tmp_path):
+        path = str(tmp_path / "image.db")
+        store = FaultyPageStore(path, page_size=PAGE, crash_after_writes=100)
+        store.put(0, b"x")
+        store.commit()
+        assert store.writes_attempted == store.writes_completed
+        store.close()

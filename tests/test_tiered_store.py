@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.pagestore import (
     FAST_TIER_PARAMS,
     MIGRATIONS,
+    WRITE_POLICIES,
     ShardedPageStore,
     TieredPageStore,
 )
@@ -173,6 +174,100 @@ class TestCachePolicies:
         store.forget_extent(Extent(0, 4))
         assert store.fast_resident == 0
         assert store.total_ms == total_before
+
+
+class TestWriteBack:
+    def test_validation(self):
+        assert "write-back" in WRITE_POLICIES
+        with pytest.raises(ConfigurationError):
+            TieredPageStore(8, write_policy="scribble")
+        with pytest.raises(ConfigurationError):
+            # Static placement writes to a page's only home — there is
+            # nothing to copy back.
+            TieredPageStore(8, migration="static", write_policy="write-back")
+
+    def test_dirty_write_stays_on_the_fast_tier(self):
+        store = TieredPageStore(
+            4, migration="lru-demote", write_policy="write-back"
+        )
+        store.read(10, 1)  # promote page 10
+        capacity_before = store.capacity.total_ms
+        fast_before = store.fast.total_ms
+        store.write(10, 1)
+        assert store.fast.total_ms > fast_before
+        assert store.capacity.total_ms == capacity_before
+        assert store.tier_of(10) == store.FAST
+        assert store.dirty_pages == 1
+        assert store.invalidations == 0
+
+    def test_demoting_a_written_page_prices_the_copy_back(self):
+        # Device-time regression: the deferred capacity write must be
+        # charged exactly once, at demotion, at capacity-tier prices.
+        store = TieredPageStore(
+            2, migration="lru-demote", write_policy="write-back"
+        )
+        twin = DiskModel()  # replays the capacity tier's request stream
+        store.read(10, 1)   # demand read + promote
+        twin.read(10, 1)
+        store.write(10, 1)  # absorbed on the fast tier (dirty)
+        assert store.capacity.total_ms == pytest.approx(twin.total_ms)
+        store.read(20, 1)
+        twin.read(20, 1)
+        store.read(30, 1)   # promote 30 -> evicts dirty 10 -> copy-back
+        twin.read(30, 1)
+        twin.write(10, 1)
+        assert store.copybacks == 1
+        assert store.dirty_pages == 0
+        assert store.tier_of(10) == store.CAPACITY
+        assert store.capacity.total_ms == pytest.approx(twin.total_ms)
+
+    def test_clean_demotions_stay_free(self):
+        store = TieredPageStore(
+            1, migration="lru-demote", write_policy="write-back"
+        )
+        store.read(10, 1)
+        capacity_before = store.capacity.stats()
+        store.read(20, 1)  # promotes 20, demotes clean 10
+        since = store.capacity.stats() - capacity_before
+        assert since.requests == 1  # the demand read alone
+        assert store.demotions == 1
+        assert store.copybacks == 0
+
+    def test_adjacent_dirty_evictions_coalesce(self):
+        store = TieredPageStore(
+            3, migration="lru-demote", write_policy="write-back"
+        )
+        store.read(10, 3)
+        store.write(10, 3)  # three adjacent dirty pages
+        assert store.dirty_pages == 3
+        capacity_before = store.capacity.stats()
+        store.read(40, 3)  # evicts all of 10..12
+        since = store.capacity.stats() - capacity_before
+        assert store.copybacks == 3
+        # One demand read plus ONE coalesced copy-back write.
+        assert since.requests == 2
+        assert store.metrics.counter("tier.copybacks").value == 3
+
+    def test_forget_extent_discards_dirty_marks(self):
+        store = TieredPageStore(
+            4, migration="lru-demote", write_policy="write-back"
+        )
+        store.read(10, 2)
+        store.write(10, 2)
+        assert store.dirty_pages == 2
+        total_before = store.total_ms
+        store.forget_extent(Extent(10, 2))
+        assert store.dirty_pages == 0
+        assert store.total_ms == total_before  # freed pages: no copy-back
+
+    def test_write_through_remains_the_default(self):
+        store = TieredPageStore(4, migration="lru-demote")
+        assert store.write_policy == "write-through"
+        store.read(10, 1)
+        store.write(10, 1)
+        assert store.invalidations == 1
+        assert store.dirty_pages == 0
+        assert store.copybacks == 0
 
 
 class TestMeasurementSurface:
