@@ -36,14 +36,14 @@ from repro.disk.model import DiskModel, DiskStats
 from repro.errors import ConfigurationError
 from repro.iosched.prefetch import Prefetcher, make_prefetcher
 from repro.iosched.request import AccessPlan
-from repro.iosched.scheduler import IOScheduler, make_scheduler
+from repro.iosched.scheduler import IOScheduler, device_times, make_scheduler
 from repro.obs import trace as _obs
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
     from repro.pagestore.store import PageStore
 
-__all__ = ["BufferPool", "coalesce_pages"]
+__all__ = ["BufferPool", "coalesce_pages", "sequential_runs"]
 
 
 #: Below this many pages :func:`coalesce_pages` uses the plain Python
@@ -73,6 +73,24 @@ def coalesce_pages(pages: Sequence[int]) -> list[tuple[int, int]]:
         else:
             if runs and page < runs[-1][0] + runs[-1][1]:
                 raise ConfigurationError("pages must be sorted and distinct")
+            runs.append((page, 1))
+    return runs
+
+
+def sequential_runs(pages: Sequence[int]) -> list[tuple[int, int]]:
+    """Merge a page *sequence* into maximal ascending-adjacent
+    ``(start, npages)`` runs, preserving the caller's order — the
+    write-back schedule of an eviction stream.  Unlike
+    :func:`coalesce_pages` the input need not be sorted: only streaks
+    that are already physically sequential in issue order coalesce, so
+    the head movement (and therefore the priced milliseconds) of the
+    original page-at-a-time stream is reproduced exactly.  For sorted
+    distinct pages the two helpers produce identical runs."""
+    runs: list[tuple[int, int]] = []
+    for page in pages:
+        if runs and page == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
             runs.append((page, 1))
     return runs
 
@@ -137,6 +155,10 @@ class BufferPool:
         "_pf_pages",
         "_pf_useful",
         "_pf_wasted",
+        "_labels",
+        "_w_pages",
+        "_w_ms",
+        "_flush_sink",
     )
 
     def __init__(
@@ -181,6 +203,16 @@ class BufferPool:
         self._pf_pages = self.metrics.counter("prefetch.pages", **labels)
         self._pf_useful = self.metrics.counter("prefetch.useful", **labels)
         self._pf_wasted = self.metrics.counter("prefetch.wasted", **labels)
+        self._labels = labels
+        self._w_pages = self.metrics.counter("write.pages", **labels)
+        # Per backing-device write milliseconds, created lazily per
+        # disk index (``write.device_ms{disk=}``).
+        self._w_ms: dict[int, object] = {}
+        # While a flush is draining the frame table, evicted dirty
+        # victims collect here (in eviction order) instead of each
+        # emitting its own single-page plan — the flush then writes the
+        # whole stream back as one plan of streak-coalesced runs.
+        self._flush_sink: list[int] | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -251,7 +283,15 @@ class BufferPool:
             self._pf_wasted.inc()
         if dirty:
             assert isinstance(page, int)
-            self.disk.write(page, 1)
+            if self._flush_sink is not None:
+                # A flush is draining the frames: batch the victims
+                # into one streak-coalesced write-back plan instead of
+                # pricing each page as its own request.
+                self._flush_sink.append(page)
+                return
+            plan = AccessPlan("pool.evict")
+            plan.flush_pages((page,))
+            self.submit(plan)
 
     def access(self, page: int) -> bool:
         """Touch a page; returns True on a hit.  Counts hit/miss, never
@@ -271,7 +311,7 @@ class BufferPool:
         immediate write (there is nowhere to hold the page)."""
         if self.frames is None:
             if dirty:
-                self.disk.write(page, 1)
+                self.write_back_pages((page,))
             return
         self.frames.admit(page, dirty)
 
@@ -312,6 +352,7 @@ class BufferPool:
             self.prefetcher is not None
             and self.frames is not None
             and not plan.prefetch
+            and not plan.writes
             and plan.transferred
         ):
             self._prefetch_after(plan)
@@ -464,16 +505,75 @@ class BufferPool:
         are admitted dirty (write-back: priced on eviction or flush);
         in pass-through mode the request is priced immediately."""
         if self.frames is None:
-            return self.disk.write(start, npages, continuation)
+            before = device_times(self.disk)
+            cost = self.disk.write(start, npages, continuation)
+            self._account_writes(npages, before)
+            return cost
         self.frames.admit_all(range(start, start + npages), dirty=True)
         return 0.0
 
     def write_extent(self, extent: Extent, continuation: bool = False) -> float:
         return self.write(extent.start, extent.npages, continuation)
 
+    def write_pages(self, pages: Sequence[int], continuation: bool = False) -> float:
+        """Write a sorted set of (not necessarily adjacent) pages.
+        With frames the pages are admitted dirty (write-back); in
+        pass-through mode the pages are merged into adjacent runs and
+        priced as one vectored batch — the first run with the caller's
+        ``continuation`` flag, follow-ups as continuations (the write
+        mirror of :meth:`read_pages`)."""
+        if self.frames is None:
+            batch = pages if isinstance(pages, list) else list(pages)
+            runs = coalesce_pages(batch)
+            if not runs:
+                return 0.0
+            before = device_times(self.disk)
+            cost = self.disk.write_runs(runs, continuation)
+            self._account_writes(len(batch), before)
+            return cost
+        self.frames.admit_all(pages, dirty=True)
+        return 0.0
+
     # ------------------------------------------------------------------
     # write-back / lifecycle
     # ------------------------------------------------------------------
+    def _account_writes(self, npages: int, before: Sequence[float]) -> None:
+        """Fold a priced store write into the write metrics: the page
+        count onto ``write.pages`` and the device-time delta onto the
+        per-disk ``write.device_ms{disk=}`` counters."""
+        self._w_pages.inc(npages)
+        after = device_times(self.disk)
+        for index, then in enumerate(before):
+            now = after[index]
+            if now > then:
+                counter = self._w_ms.get(index)
+                if counter is None:
+                    counter = self.metrics.counter(
+                        "write.device_ms", disk=str(index), **self._labels
+                    )
+                    self._w_ms[index] = counter
+                counter.inc(now - then)
+
+    def write_back_pages(self, pages: Sequence[int]) -> float:
+        """Write an already-buffered page sequence back to the store,
+        bypassing the frames — the priced primitive behind
+        ``flush_pages`` plan requests.  The sequence keeps the caller's
+        order (an eviction stream): maximal ascending-adjacent streaks
+        become single vectored requests, each priced fresh.  Because a
+        page-at-a-time stream over an ascending streak pays the
+        positioning once and then transfers sequentially, the batched
+        run's milliseconds are identical — only the request count
+        drops.  Sorted input (``write_back``) therefore prices exactly
+        like the historical per-run ``disk.write`` loop."""
+        if not pages:
+            return 0.0
+        before = device_times(self.disk)
+        cost = 0.0
+        for run_start, run_pages in sequential_runs(pages):
+            cost += self.disk.write(run_start, run_pages)
+        self._account_writes(len(pages), before)
+        return cost
+
     def write_back(self) -> float:
         """Write all dirty frames back, coalescing adjacent dirty pages
         into single vectored transfers; frames stay resident (marked
@@ -481,9 +581,11 @@ class BufferPool:
         if self.frames is None:
             return 0.0
         dirty = sorted(self.frames.dirty_keys())
-        cost = 0.0
-        for run_start, run_pages in coalesce_pages(dirty):
-            cost += self.disk.write(run_start, run_pages)
+        if not dirty:
+            return 0.0
+        plan = AccessPlan("pool.write_back")
+        plan.flush_pages(dirty)
+        cost = self.submit(plan)
         for page in dirty:
             self.frames.mark_clean(page)
         return cost
@@ -493,15 +595,28 @@ class BufferPool:
 
         ``coalesce=False`` (default) replays the historical
         page-at-a-time eviction stream in recency order — the pricing
-        the construction figures were calibrated against;
-        ``coalesce=True`` uses the vectored write-back scheduler first.
+        the construction figures were calibrated against (ascending
+        adjacent streaks of the stream batch into vectored requests
+        with identical milliseconds); ``coalesce=True`` uses the
+        vectored write-back scheduler first.  Either way the dirty
+        pages leave the pool as one declarative write plan.
         """
         if self.frames is None:
             return 0.0
         before = self.disk.total_ms
         if coalesce:
             self.write_back()
-        self.frames.flush()
+        sink: list[int] = []
+        previous = self._flush_sink
+        self._flush_sink = sink
+        try:
+            self.frames.flush()
+        finally:
+            self._flush_sink = previous
+        if sink:
+            plan = AccessPlan("pool.flush")
+            plan.flush_pages(sink)
+            self.submit(plan)
         return self.disk.total_ms - before
 
     def invalidate(self) -> None:

@@ -125,7 +125,7 @@ class ClusterOrganization(SpatialOrganization):
             )
             self._oversize[obj.oid] = extent
             self.pool.place_extent(extent, center=obj.mbr.center())
-            self.pool.write_extent(extent)
+            self.pool.submit(AccessPlan("cluster.store").write_extent(extent))
             return extent
         return None  # placed by the entry-added hook, which knows the leaf
 
@@ -177,7 +177,9 @@ class ClusterOrganization(SpatialOrganization):
         unit.repack()
         used = self._priced_pages(unit)
         if used:
-            self.pool.write(unit.extent.start, used)
+            self.pool.submit(
+                AccessPlan("cluster.rewrite").write(unit.extent.start, used)
+            )
 
     def _grow_unit(self, unit: ClusterUnit, needed_bytes: int) -> None:
         """Move a unit into a larger buddy (Section 5.3.1): read it,
@@ -198,7 +200,9 @@ class ClusterOrganization(SpatialOrganization):
             )
         used = self._priced_pages(unit)
         if used:
-            self.pool.write(unit.extent.start, used)
+            self.pool.submit(
+                AccessPlan("cluster.grow").write(unit.extent.start, used)
+            )
 
     def _on_entry_added(self, leaf: Node, entry: Entry) -> None:
         """Step 3 of the insertion algorithm (Section 4.2.2): append the
@@ -243,7 +247,11 @@ class ClusterOrganization(SpatialOrganization):
         if completed > 0:
             first = min(start_rel, unit.extent.npages - 1)
             count = min(completed, unit.extent.npages - first)
-            self.pool.write(unit.extent.start + first, max(1, count))
+            self.pool.submit(
+                AccessPlan("cluster.append").write(
+                    unit.extent.start + first, max(1, count)
+                )
+            )
 
     def _on_leaf_split(self, old_leaf: Node, new_leaf: Node) -> None:
         """The cluster split (Section 4.2.2 step 4): the old unit is
@@ -285,7 +293,9 @@ class ClusterOrganization(SpatialOrganization):
             new_leaf.tag = unit
             used = self._priced_pages(unit)
             if used:
-                self.pool.write(unit.extent.start, used)
+                self.pool.submit(
+                    AccessPlan("cluster.split").write(unit.extent.start, used)
+                )
         else:
             new_leaf.tag = None
 
@@ -313,7 +323,11 @@ class ClusterOrganization(SpatialOrganization):
                 )
                 used = self._priced_pages(old_unit)
                 if used:
-                    self.pool.write(old_unit.extent.start, used)
+                    self.pool.submit(
+                        AccessPlan("cluster.split").write(
+                            old_unit.extent.start, used
+                        )
+                    )
 
     # ------------------------------------------------------------------
     # retrieval: the query techniques of Section 5.4

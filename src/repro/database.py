@@ -32,7 +32,7 @@ from repro.join.multistep import JoinResult, spatial_join
 from repro.obs.metrics import MetricsRegistry
 from repro.pagestore.placement import make_placement
 from repro.pagestore.store import PageStore, ShardedPageStore
-from repro.pagestore.tiered import TieredPageStore
+from repro.pagestore.tiered import TieredPageStore, fast_tier_params
 from repro.rtree.stats import TreeStats, tree_stats
 from repro.storage.base import QueryResult, SpatialOrganization
 from repro.storage.primary import PrimaryOrganization
@@ -107,7 +107,9 @@ class SpatialDatabase:
         name (``"static"`` / ``"promote-on-hit"`` / ``"lru-demote"``)
         building a :class:`~repro.pagestore.tiered.TieredPageStore`
         with ``fast_pages`` / ``fast_params``, or a ready store.
-        Mutually exclusive with ``n_disks > 1``.
+        Combined with ``n_disks > 1`` each tier is itself a
+        declustered :class:`~repro.pagestore.store.ShardedPageStore`
+        over ``n_disks`` arms (tiering composed over sharding).
     fast_pages:
         Fast-tier budget in pages when ``tiering`` names a policy
         (default 1024).
@@ -171,10 +173,11 @@ class SpatialDatabase:
             raise ConfigurationError("max_object_bytes must be positive")
         if n_disks < 1:
             raise ConfigurationError(f"need at least one disk, got {n_disks}")
-        if tiering is not None and n_disks > 1:
+        if isinstance(tiering, TieredPageStore) and n_disks > 1:
             raise ConfigurationError(
-                "tiering and n_disks > 1 are mutually exclusive — a tier "
-                "is a placement decision over two devices, not a shard"
+                "a ready TieredPageStore fixes its own tier backends; "
+                "compose sharded tiers by passing a migration-policy "
+                "name together with n_disks > 1 instead"
             )
         if _disk is not None:
             if tiering is not None:
@@ -185,6 +188,29 @@ class SpatialDatabase:
             self.disk = _disk
         elif isinstance(tiering, TieredPageStore):
             self.disk = tiering
+        elif tiering is not None and n_disks > 1:
+            # Tiering composed over sharding: each tier is itself a
+            # declustered store over n_disks arms, so placement spreads
+            # within a tier while migration moves pages between tiers.
+            self.disk = TieredPageStore(
+                fast_pages,
+                migration=tiering,
+                fast_params=fast_params,
+                params=disk_params,
+                metrics=self.metrics,
+                fast_store=ShardedPageStore(
+                    n_disks,
+                    placement=placement,
+                    params=fast_params or fast_tier_params(),
+                    chunk_pages=chunk_pages,
+                ),
+                capacity_store=ShardedPageStore(
+                    n_disks,
+                    placement=placement,
+                    params=disk_params,
+                    chunk_pages=chunk_pages,
+                ),
+            )
         elif tiering is not None:
             self.disk = TieredPageStore(
                 fast_pages,
@@ -523,7 +549,15 @@ class SpatialDatabase:
         if disks is None:
             return
         if isinstance(store, TieredPageStore):
-            names = ["fast", "capacity"]
+            names = []
+            for tier_name, tier in zip(("fast", "capacity"), store.tiers):
+                arms = getattr(tier, "disks", None)
+                if arms is None:
+                    names.append(tier_name)
+                else:
+                    names.extend(
+                        f"{tier_name}-{index}" for index in range(len(arms))
+                    )
         else:
             names = [str(index) for index in range(len(disks))]
         for device, label in zip(disks, names):

@@ -308,6 +308,15 @@ class DiskModel:
         """Price a write request (same cost model as reads)."""
         return self._transfer(start, npages, continuation, "write")
 
+    def write_runs(
+        self, runs: Sequence[tuple[int, int]], continuation: bool = False
+    ) -> float:
+        """Price one vectored batch of ``(start, npages)`` write runs —
+        the write mirror of :meth:`read_runs`: the head positions once,
+        the first run carries the caller's ``continuation`` flag,
+        follow-up runs are continuations."""
+        return self.price_runs(runs, continuation, "write")
+
     def charge(self, seeks: int = 0, rotations: int = 0, pages: int = 0) -> float:
         """Account an *analytic* cost (used for theoretical optima such
         as Figure 16's lower bound) without moving the head."""

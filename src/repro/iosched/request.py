@@ -36,11 +36,26 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
     from repro.disk.extent import Extent
 
-__all__ = ["IORequest", "AccessPlan"]
+__all__ = ["IORequest", "AccessPlan", "OPS", "WRITE_OPS"]
 
 #: Operation kinds an :class:`IORequest` can carry.  Each maps onto one
 #: buffer-pool primitive (see ``SyncScheduler._issue``).
-OPS = ("read", "read_pages", "fetch", "get", "load_pages", "charge")
+OPS = (
+    "read",
+    "read_pages",
+    "fetch",
+    "get",
+    "load_pages",
+    "charge",
+    "write",
+    "write_pages",
+    "flush_pages",
+)
+
+#: The write-kind subset of :data:`OPS` — requests that move pages *to*
+#: the store.  They never trigger read-ahead and are excluded from the
+#: prefetcher's transfer anchors.
+WRITE_OPS = frozenset(("write", "write_pages", "flush_pages"))
 
 
 class IORequest:
@@ -224,6 +239,43 @@ class AccessPlan:
         )
         return self
 
+    def write(
+        self,
+        start: int,
+        npages: int = 1,
+        continuation: bool = False,
+        chain: int | None = None,
+    ) -> "AccessPlan":
+        """Buffered write of consecutive pages: dirty frames when the
+        pool buffers, a priced device write on a pass-through pool."""
+        self.requests.append(
+            IORequest("write", start, npages, continuation=continuation, chain=chain)
+        )
+        return self
+
+    def write_extent(self, extent: "Extent", continuation: bool = False) -> "AccessPlan":
+        return self.write(extent.start, extent.npages, continuation)
+
+    def write_pages(
+        self, pages: Sequence[int], continuation: bool = False
+    ) -> "AccessPlan":
+        """Buffered write of scattered sorted pages (coalesced into
+        runs through the batch pricer on a pass-through pool)."""
+        self.requests.append(
+            IORequest("write_pages", pages=tuple(pages), continuation=continuation)
+        )
+        return self
+
+    def flush_pages(self, pages: Sequence[int]) -> "AccessPlan":
+        """Write a page sequence back to the store, bypassing the
+        frames (the write-back of already-buffered dirty pages).  The
+        sequence keeps the caller's eviction order; maximal
+        ascending-adjacent streaks become single batched runs, each
+        priced as a fresh request — exactly the historical per-victim
+        ``disk.write(page, 1)`` pricing."""
+        self.requests.append(IORequest("flush_pages", pages=tuple(pages)))
+        return self
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -243,6 +295,12 @@ class AccessPlan:
             if cost > 0:
                 return start, npages
         return None
+
+    @property
+    def writes(self) -> bool:
+        """Whether the plan carries any write-kind request.  Write
+        plans never trigger read-ahead."""
+        return any(request.op in WRITE_OPS for request in self.requests)
 
     @property
     def transferred(self) -> bool:

@@ -165,6 +165,21 @@ class SyncScheduler:
             span = (
                 (pages[0], pages[-1] - pages[0] + 1) if pages else (0, 0)
             )
+        elif op == "write":
+            cost = pool.write(request.start, request.npages, continuation)
+            span = (request.start, request.npages)
+        elif op == "write_pages":
+            pages = request.pages or ()
+            cost = pool.write_pages(pages, continuation)
+            span = (
+                (pages[0], pages[-1] - pages[0] + 1) if pages else (0, 0)
+            )
+        elif op == "flush_pages":
+            pages = request.pages or ()
+            cost = pool.write_back_pages(pages)
+            span = (
+                (min(pages), max(pages) - min(pages) + 1) if pages else (0, 0)
+            )
         else:
             raise ConfigurationError(f"unknown plan operation '{op}'")
         if request.chain is not None and cost:
@@ -177,6 +192,14 @@ class SyncScheduler:
         """The sync scheduler keeps no statistics; present for the
         unified ``reset_stats()`` surface."""
         return None
+
+    @contextmanager
+    def inline(self) -> Iterator["SyncScheduler"]:
+        """Execute plans submitted inside the block immediately, with
+        no clock dispatch — for callers that account and dispatch the
+        aggregate device time themselves (the workload engine's flush
+        phase).  A no-op here: sync execution is always immediate."""
+        yield self
 
 
 class _ClockBase:
@@ -529,6 +552,12 @@ class OverlapScheduler(SyncScheduler):
         # Completion time of the last non-prefetch plan (the causality
         # floor for a follow-up prefetch dispatch).
         self._last_completion = 0.0
+        # True while a request is being issued against the pool: a
+        # nested plan submitted from inside a pool primitive (e.g. the
+        # dirty-victim write-back an admission fires) must not dispatch
+        # on the clock again — its device time already lands inside the
+        # enclosing request's measured interval.
+        self._issuing = False
 
     def _account_queueing(self, client: str, delay_ms: float) -> None:
         self.queueing[client] = self.queueing.get(client, 0.0) + delay_ms
@@ -610,7 +639,27 @@ class OverlapScheduler(SyncScheduler):
                         client, at, scope.device_ms, scope.completion
                     )
 
+    @contextmanager
+    def inline(self) -> Iterator["OverlapScheduler"]:
+        """Execute plans submitted inside the block immediately, with
+        no clock dispatch — the caller accounts the aggregate device
+        time and dispatches it on the clock itself (the workload
+        engine prices a whole flush phase as one batch)."""
+        previous = self._issuing
+        self._issuing = True
+        try:
+            yield self
+        finally:
+            self._issuing = previous
+
     def execute(self, plan: AccessPlan, pool: "BufferPool") -> float:
+        if self._issuing:
+            # Nested plan fired from inside a request's execution (a
+            # pool primitive writing back a dirty victim) or an
+            # ``inline()`` scope: price it immediately, without a clock
+            # dispatch — exactly where the historical eager call put
+            # the cost.
+            return self._run(plan, pool)
         scope = self._scope
         issue_at = (
             scope.start if scope is not None else self.clock.client_time(self._client)
@@ -642,7 +691,11 @@ class OverlapScheduler(SyncScheduler):
                 rspan = tracer.begin(request.op, cat="request", ts=issue_at)
                 tracer.begin_pending()
             before = device_times(pool.disk)
-            self._issue(request, pool, chains, plan)
+            self._issuing = True
+            try:
+                self._issue(request, pool, chains, plan)
+            finally:
+                self._issuing = False
             after = device_times(pool.disk)
             work = [now - then for now, then in zip(after, before)]
             for w in work:

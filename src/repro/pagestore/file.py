@@ -398,12 +398,21 @@ class FilePageStore:
         self._next_slot += 1
         return slot
 
-    def flush(self) -> list[tuple[int, int]]:
+    def flush(self, pool=None) -> list[tuple[int, int]]:
         """Write every dirty page copy-on-write: fresh slots only (a
         slot of the committed epoch is never overwritten), one
         ``pwrite`` per contiguous slot run (the
         :func:`~repro.buffer.pool.coalesce_pages` schedule).  Returns
-        the written slot runs."""
+        the written slot runs.
+
+        With ``pool`` given, the slot runs are additionally declared
+        as one ``checkpoint.flush`` write plan and submitted to that
+        pool — the checkpoint's device time is then priced (and span-
+        traced) on the pool's store like any other write, so an online
+        checkpoint contends with foreground traffic.  ``None`` (the
+        default) keeps the historical behaviour: the durable pwrites
+        happen, the simulated pricing stays with the page writes that
+        dirtied the store."""
         if not self._dirty:
             return []
         staged: list[tuple[int, bytes]] = []
@@ -436,6 +445,14 @@ class FilePageStore:
                 run_start * self.page_size,
                 b"".join(encoded[run_start + i] for i in range(run_pages)),
             )
+        if pool is not None and runs:
+            from repro.iosched.request import AccessPlan
+
+            pool.submit(
+                AccessPlan("checkpoint.flush").write_pages(
+                    [slot for slot, _ in staged]
+                )
+            )
         return runs
 
     _retired_slots: list[int]
@@ -444,12 +461,15 @@ class FilePageStore:
         self,
         meta: dict | None = None,
         meta_payloads: Sequence[bytes] | None = None,
+        pool=None,
     ) -> int:
         """Checkpoint: flush dirty pages, persist the page map (and the
         optional catalog payload chunks), fsync, then publish the new
-        epoch through the alternate superblock.  Returns the epoch."""
+        epoch through the alternate superblock.  Returns the epoch.
+        ``pool`` forwards to :meth:`flush` — an online checkpoint
+        prices its flush as a write plan on that pool's store."""
         self._retired_slots = []
-        self.flush()
+        self.flush(pool=pool)
         if meta is not None:
             self.meta = dict(meta)
         # Page map and catalog are copy-on-write like the data: the
@@ -550,6 +570,15 @@ class FilePageStore:
             # slot moves copy-on-write at the next flush), materialise
             # an empty page otherwise.
             self._dirty.setdefault(page, _PRESERVE)
+        return cost
+
+    def write_runs(
+        self, runs: Sequence[tuple[int, int]], continuation: bool = False
+    ) -> float:
+        cost = self.model.write_runs(runs, continuation)
+        for start, npages in runs:
+            for page in range(start, start + npages):
+                self._dirty.setdefault(page, _PRESERVE)
         return cost
 
     def read_extent(self, extent: Extent, continuation: bool = False) -> float:

@@ -113,6 +113,9 @@ class PageStore(Protocol):
         self, runs: Sequence[tuple[int, int]], continuation: bool = False
     ) -> float: ...
     def write(self, start: int, npages: int = 1, continuation: bool = False) -> float: ...
+    def write_runs(
+        self, runs: Sequence[tuple[int, int]], continuation: bool = False
+    ) -> float: ...
     def charge(self, seeks: int = 0, rotations: int = 0, pages: int = 0) -> float: ...
     def stats(self) -> DiskStats: ...
     def snapshot(self): ...
@@ -268,6 +271,13 @@ class ShardedPageStore:
     def write(self, start: int, npages: int = 1, continuation: bool = False) -> float:
         """Price a write (same parallel model as reads)."""
         return self._transfer("write", [(start, npages)], continuation)
+
+    def write_runs(
+        self, runs: Sequence[tuple[int, int]], continuation: bool = False
+    ) -> float:
+        """Price one vectored batch of write runs as a single
+        declustered request (the write mirror of :meth:`read_runs`)."""
+        return self._transfer("write", runs, continuation)
 
     def read_extent(self, extent: Extent, continuation: bool = False) -> float:
         return self.read(extent.start, extent.npages, continuation)

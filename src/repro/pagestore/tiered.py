@@ -116,6 +116,15 @@ class TieredPageStore:
         (fast-resident pages take writes on the fast tier and are
         copied back to the capacity tier when demoted).  Cache
         policies only.
+    fast_store, capacity_store:
+        Optional ready-made tier backends replacing the default
+        single :class:`~repro.disk.model.DiskModel` per tier — e.g. a
+        :class:`~repro.pagestore.store.ShardedPageStore` per tier, so
+        each tier is itself declustered (tiering composed over
+        sharding).  A custom tier must speak the
+        :class:`~repro.pagestore.store.PageStore` request surface;
+        ``params``/``fast_params`` default to the injected stores'
+        constants.
     """
 
     FAST, CAPACITY = 0, 1
@@ -129,6 +138,8 @@ class TieredPageStore:
         promote_after: int = 2,
         write_policy: str = "write-through",
         metrics: MetricsRegistry | None = None,
+        fast_store=None,
+        capacity_store=None,
     ):
         if fast_pages < 1:
             raise ConfigurationError(
@@ -153,14 +164,26 @@ class TieredPageStore:
                 "placement writes to a page's only home, there is "
                 "nothing to copy back"
             )
-        self.params = params or DiskParameters()
-        self.fast_params = fast_params or FAST_TIER_PARAMS
-        self.fast = DiskModel(self.fast_params)
-        self.capacity = DiskModel(self.params)
-        #: The tier devices, fast first — the overlap scheduler's
-        #: ``device_times`` reads this to time the tiers as two queues.
-        self.disks = [self.fast, self.capacity]
-        self.n_disks = 2
+        self.params = params or getattr(capacity_store, "params", None) or DiskParameters()
+        self.fast_params = (
+            fast_params or getattr(fast_store, "params", None) or FAST_TIER_PARAMS
+        )
+        self.fast = fast_store if fast_store is not None else DiskModel(self.fast_params)
+        self.capacity = (
+            capacity_store if capacity_store is not None else DiskModel(self.params)
+        )
+        #: The tier backends, fast first — request fragments are priced
+        #: against these (each may itself be a multi-disk store).
+        self.tiers = [self.fast, self.capacity]
+        #: The underlying devices, fast tier's first — the overlap
+        #: scheduler's ``device_times`` reads this to time every
+        #: physical arm as its own service queue.
+        self.disks = [
+            disk
+            for tier in self.tiers
+            for disk in (getattr(tier, "disks", None) or (tier,))
+        ]
+        self.n_disks = len(self.disks)
         self.fast_pages = fast_pages
         self.migration = migration
         self.promote_after = promote_after
@@ -235,6 +258,20 @@ class TieredPageStore:
             self._resident.pop(page, None)
             self._counts.pop(page, None)
             self._dirty.discard(page)
+        for tier in self.tiers:
+            forget = getattr(tier, "forget_extent", None)
+            if forget is not None:
+                forget(extent)
+
+    def place_extent(self, extent: Extent, center=None, disk: int | None = None) -> None:
+        """Forward a placement hint to declustered tier backends (a
+        no-op over plain single-disk tiers): the page address space is
+        shared, so an extent pinned by the capacity tier's placement is
+        pinned identically in the fast tier's."""
+        for tier in self.tiers:
+            place = getattr(tier, "place_extent", None)
+            if place is not None:
+                place(extent, center=center, disk=disk)
 
     def _fragments(self, start: int, npages: int) -> Iterator[tuple[int, int, int]]:
         """Split ``[start, start + npages)`` into maximal runs served by
@@ -273,18 +310,14 @@ class TieredPageStore:
         budget is exceeded."""
         if not pages:
             return
-        runs: list[tuple[int, int]] = []
-        for page in sorted(pages):
+        ordered = sorted(pages)
+        for page in ordered:
             self._counts.pop(page, None)
             self._resident[page] = None
-            if runs and page == runs[-1][0] + runs[-1][1]:
-                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
-            else:
-                runs.append((page, 1))
-        first = True
-        for run_start, run_pages in runs:
-            self.fast.write(run_start, run_pages, not first)
-            first = False
+        # One vectored batch through the shared run coalescer: the
+        # first run pays the positioning, follow-ups are continuations
+        # — exactly the historical per-run loop's flags.
+        self.fast.write_runs(coalesce_pages(ordered))
         self._promotions.inc(len(pages))
         demoted = 0
         dirty_evicted: list[int] = []
@@ -298,12 +331,10 @@ class TieredPageStore:
             self._demotions.inc(demoted)
         if dirty_evicted:
             # Demoting a written page prices the deferred capacity
-            # write (the copy-back); clean demotions stay free because
-            # the capacity home still holds the page's content.
-            first = True
-            for run_start, run_pages in coalesce_pages(sorted(dirty_evicted)):
-                self.capacity.write(run_start, run_pages, not first)
-                first = False
+            # write (the copy-back) as one vectored batch; clean
+            # demotions stay free because the capacity home still
+            # holds the page's content.
+            self.capacity.write_runs(coalesce_pages(sorted(dirty_evicted)))
             self._copybacks.inc(len(dirty_evicted))
         if _obs.ACTIVE is not None:
             _obs.ACTIVE.instant(
@@ -354,7 +385,7 @@ class TieredPageStore:
         demand: list[tuple[int, int]] = []
         for start, npages in runs:
             for tier, frag_start, frag_pages in self._fragments(start, npages):
-                device = self.disks[tier]
+                device = self.tiers[tier]
                 frag_continuation = True if tier in per_tier else continuation
                 cost = getattr(device, kind)(frag_start, frag_pages, frag_continuation)
                 per_tier[tier] = per_tier.get(tier, 0.0) + cost
@@ -410,6 +441,20 @@ class TieredPageStore:
         self._response_ms += cost
         return cost
 
+    def write_runs(
+        self, runs: Sequence[tuple[int, int]], continuation: bool = False
+    ) -> float:
+        """Price one vectored batch of write runs (the write mirror of
+        :meth:`read_runs`), preserving each run's tier routing and
+        write-policy side effects: the first run carries the caller's
+        ``continuation`` flag, follow-ups are continuations."""
+        cost = 0.0
+        first = True
+        for start, npages in runs:
+            cost += self.write(start, npages, continuation if first else True)
+            first = False
+        return cost
+
     def _write_back(self, start: int, npages: int, continuation: bool) -> float:
         """Write-back pricing: fast-resident fragments take the write
         on the fast tier (marked dirty, refreshed in LRU order), the
@@ -419,7 +464,7 @@ class TieredPageStore:
         tiers."""
         per_tier: dict[int, float] = {}
         for tier, frag_start, frag_pages in self._fragments(start, npages):
-            device = self.disks[tier]
+            device = self.tiers[tier]
             frag_continuation = True if tier in per_tier else continuation
             cost = device.write(frag_start, frag_pages, frag_continuation)
             per_tier[tier] = per_tier.get(tier, 0.0) + cost
@@ -474,24 +519,24 @@ class TieredPageStore:
         return StoreSnapshot(self.per_disk_stats(), self._epoch)
 
     def _baseline(self, snapshot: list[DiskStats]) -> list[DiskStats]:
-        validate_snapshot_shape(snapshot, len(self.disks), "this tiered store")
+        validate_snapshot_shape(snapshot, len(self.tiers), "this tiered store")
         if getattr(snapshot, "epoch", self._epoch) != self._epoch:
-            return [DiskStats() for _ in self.disks]
+            return [DiskStats() for _ in self.tiers]
         return snapshot
 
     def stats_since(self, snapshot: list[DiskStats]) -> DiskStats:
         """Aggregate device-time statistics delta since ``snapshot``."""
         total = DiskStats()
-        for disk, before in zip(self.disks, self._baseline(snapshot)):
-            total = total + disk.stats_since(before)
+        for tier, before in zip(self.tiers, self._baseline(snapshot)):
+            total = total + (tier.stats() - before)
         return total
 
     def cost_since(self, snapshot: list[DiskStats]) -> VectoredCost:
         """Parallel cost of everything priced since ``snapshot``:
         response is the busier tier's delta, device time the sum."""
         per_tier = [
-            (disk.stats() - before).total_ms
-            for disk, before in zip(self.disks, self._baseline(snapshot))
+            (tier.stats() - before).total_ms
+            for tier, before in zip(self.tiers, self._baseline(snapshot))
         ]
         return VectoredCost(
             response_ms=max(per_tier, default=0.0),

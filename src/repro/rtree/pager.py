@@ -123,12 +123,14 @@ class NodePager:
 
     def write(self, node: Node) -> None:
         """Price writing the node's page (caching pools defer to
-        eviction / flush)."""
+        eviction / flush).  Like :meth:`read`, the access is declared
+        as a single-request write plan, so node writes share the
+        scheduler's service queues and admission pacing."""
         if node.page is None:
             return
         if self.directory_resident and node.level >= 1:
             return
-        self.pool.write(node.page, 1)
+        self.pool.submit(AccessPlan("node.write").write(node.page))
 
     def flush(self) -> None:
         """Write back every dirty buffered page."""

@@ -63,7 +63,7 @@ class PrimaryOrganization(SpatialOrganization):
         extent = self._overflow.allocate(self.pages_for(obj.size_bytes))
         self._overflow_extents[obj.oid] = extent
         self.pool.place_extent(extent, center=obj.mbr.center())
-        self.pool.write_extent(extent)
+        self.pool.submit(AccessPlan("primary.store").write_extent(extent))
         return extent
 
     # ------------------------------------------------------------------

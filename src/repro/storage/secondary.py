@@ -70,9 +70,11 @@ class SecondaryOrganization(SpatialOrganization):
         completed_before = start_byte // page
         completed_after = end_byte // page
         if completed_after > completed_before:
-            self.pool.write(
-                self._file.base + completed_before,
-                completed_after - completed_before,
+            self.pool.submit(
+                AccessPlan("secondary.store").write(
+                    self._file.base + completed_before,
+                    completed_after - completed_before,
+                )
             )
         return extent
 

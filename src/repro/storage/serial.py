@@ -378,6 +378,7 @@ def save_database(
     path: str,
     materialize: bool = True,
     store: "FilePageStore | None" = None,
+    price_checkpoint: bool = False,
 ) -> int:
     """Checkpoint ``db`` into a file-backed page store at ``path``.
 
@@ -389,6 +390,12 @@ def save_database(
     caller then owns its lifecycle.  Saving onto an existing file is
     incremental: a new epoch on top of the committed one.  Returns the
     committed epoch.
+
+    ``price_checkpoint=True`` submits the checkpoint's flush as a
+    ``checkpoint.flush`` write plan on the database's pool: an online
+    checkpoint then costs simulated device time and contends with
+    foreground traffic (the default keeps checkpoints free, as the
+    historical offline save).
     """
     from repro.pagestore.file import FilePageStore, payload_capacity
 
@@ -414,6 +421,7 @@ def save_database(
         return store.commit(
             meta={"kind": "spatialdb", "format": CATALOG_FORMAT},
             meta_payloads=chunks,
+            pool=db.pool if price_checkpoint else None,
         )
     finally:
         if own_store:

@@ -66,7 +66,7 @@ def latency_percentile(latencies, q: float) -> float:
     metrics registry's histograms report identical percentiles."""
     return _percentile(latencies, q)
 
-OP_KINDS = ("window", "point", "insert", "delete", "join")
+OP_KINDS = ("window", "point", "insert", "delete", "join", "reorg")
 """Operation kinds understood by the engine.
 
 Operations are plain tuples:
@@ -78,6 +78,9 @@ Operations are plain tuples:
 * ``("join", other[, technique])`` — ``other`` is a
   :class:`~repro.database.SpatialDatabase` or organization sharing this
   database's disk
+* ``("reorg", Reorganizer[, budget_pages])`` — run one incremental
+  reorganization round (:class:`repro.reorg.Reorganizer`), priced like
+  any other operation of its session's class
 """
 
 
@@ -903,7 +906,11 @@ class WorkloadEngine:
                     "flush", cat="flush", track="main", ts=issued, parent=None
                 )
             before = device_times(self.storage.disk)
-            self.pool.flush(coalesce=True)
+            # The flush's write plans execute inline: the engine prices
+            # the whole phase as one batch dispatched at the issue time
+            # below — a second dispatch per plan would double-count.
+            with scheduler.inline():
+                self.pool.flush(coalesce=True)
             work = [
                 now - then
                 for now, then in zip(device_times(self.storage.disk), before)
@@ -977,6 +984,9 @@ class WorkloadEngine:
                 self.storage, other, technique=technique, pool=self.pool
             )
             return kind, result.candidate_pairs
+        if kind == "reorg":
+            budget = op[2] if len(op) > 2 else None
+            return kind, op[1].step(budget_pages=budget)
         raise ConfigurationError(
             f"unknown workload operation '{kind}'; valid: {OP_KINDS}"
         )

@@ -326,9 +326,19 @@ class TestDatabaseWiring:
         assert isinstance(db.disk, DiskModel)
         assert db.tiering == "none"
 
-    def test_tiering_excludes_sharding(self):
+    def test_tiering_composes_over_sharding(self):
+        db = SpatialDatabase(
+            smax_bytes=16 * 4096, tiering="static", n_disks=4
+        )
+        assert isinstance(db.disk, TieredPageStore)
+        # Each tier is itself declustered over 4 arms.
+        assert all(len(tier.disks) == 4 for tier in db.disk.tiers)
+        assert len(db.disk.disks) == 8
+
+    def test_ready_tiered_store_excludes_sharding(self):
+        store = TieredPageStore(32, migration="static")
         with pytest.raises(ConfigurationError):
-            SpatialDatabase(smax_bytes=16 * 4096, tiering="static", n_disks=4)
+            SpatialDatabase(smax_bytes=16 * 4096, tiering=store, n_disks=4)
 
     def test_tiering_rejected_on_attach(self):
         db = SpatialDatabase(smax_bytes=16 * 4096)
